@@ -1,0 +1,75 @@
+"""Eq. 7 / §6.3.2 — the collusion-bias ceiling of the entropy audit.
+
+Paper reference: at γ = 8.95 with a 25-node coalition and a 600-entry
+history, a freerider can serve colluders at most p*_m ≈ 21 % of the
+time without being caught.  Eq. 7 idealises honest picks as fractional
+bin occupancy, so the *achievable* (integer-feasible) ceiling sits a
+little lower; we report both and validate the achievable one by
+Monte-Carlo against the smartest (round-robin + distinct-honest)
+coalition strategy.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.analysis.entropy_analysis import (
+    achievable_max_bias,
+    collusion_entropy,
+    gamma_for_window,
+    max_bias_probability,
+)
+from repro.mc.entropy import biased_fanout_entropies
+from repro.util.rng import make_generator
+
+
+@pytest.fixture(scope="module")
+def eq7_report():
+    p_star = max_bias_probability(8.95, 25, 600)
+    p_achievable = achievable_max_bias(8.95, 25, 600)
+    rng = make_generator(3, "bench-eq7")
+    below = biased_fanout_entropies(
+        rng, 10_000, 600, 200, 25, bias=max(0.0, p_achievable - 0.04), planned=True
+    )
+    above = biased_fanout_entropies(
+        rng, 10_000, 600, 200, 25, bias=min(1.0, p_achievable + 0.08), planned=True
+    )
+    caught_below = float(np.mean(below < 8.95))
+    caught_above = float(np.mean(above < 8.95))
+    lines = [
+        "entropy-audit collusion ceiling (gamma=8.95, m'=25, n_h f=600)",
+        f"p*_m, Eq. 7 (paper's idealised bound):  paper ~0.21   measured {p_star:.3f}",
+        f"p*_m, integer-feasible (operational):   {p_achievable:.3f}",
+        f"entropy at Eq. 7's p*_m:                {collusion_entropy(p_star, 25, 600):.3f} (= gamma)",
+        f"MC: caught at p_m = achievable - 0.04:  {caught_below:.2%} (should be ~0)",
+        f"MC: caught at p_m = achievable + 0.08:  {caught_above:.2%} (should be ~1)",
+        "",
+        "coalition size sweep (Eq. 7 ceiling at gamma=8.95):",
+    ]
+    for m in (5, 10, 25, 50, 100):
+        lines.append(f"  m'={m:4d}: p*_m = {max_bias_probability(8.95, m, 600):.3f}")
+    lines += [
+        "",
+        "history-length sweep (gamma scaled to the window, m'=25, f=12):",
+    ]
+    for n_h in (25, 50, 100, 200):
+        history = n_h * 12
+        gamma = gamma_for_window(history)
+        lines.append(
+            f"  n_h={n_h:4d} (window {history:5d}, gamma={gamma:.2f}): "
+            f"p*_m = {max_bias_probability(gamma, 25, history):.3f}"
+        )
+    record_report("eq7_collusion_bias", "\n".join(lines))
+    return p_star, p_achievable, caught_below, caught_above
+
+
+def test_eq7_ceiling(eq7_report, benchmark):
+    benchmark(lambda: max_bias_probability(8.95, 25, 600))
+    p_star, p_achievable, caught_below, caught_above = eq7_report
+    # The paper's number, from the paper's formula.
+    assert p_star == pytest.approx(0.21, abs=0.01)
+    # The operational ceiling sits below the idealised bound.
+    assert 0.10 < p_achievable < p_star
+    # Monte-Carlo: the audit separates around the achievable ceiling.
+    assert caught_below < 0.05
+    assert caught_above > 0.95

@@ -1,0 +1,91 @@
+"""Figure 14 — score CDFs on the simulated PlanetLab deployment.
+
+Paper reference (300 nodes, 10 % freeriders Δ=(1/7, 0.1, 0.1), f=7,
+M=25, ~4 % loss): at 30 s with p_dcc = 1 the threshold η = -9.75
+expels 86 % of freeriders and 12 % of honest nodes (mostly
+poorly-connected ones); p_dcc = 0.5 is slower but not twice as slow —
+its 35 s matches the 30 s of p_dcc = 1.
+
+Our simulator's blame magnitudes sit lower than the PlanetLab
+deployment's, so the paper's absolute η under-detects here; we report
+both the paper's η and the threshold derived from the paper's own
+calibration rule (β ≤ 1 % in an honest deployment, §6.3.1) — the
+latter reproduces the detection/false-positive landmark.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_scale, record_report
+from repro.experiments.fig14 import run_fig14
+
+
+@pytest.fixture(scope="module")
+def fig14_result():
+    n = 300 if full_scale() else 120
+    result = run_fig14(n=n, times=(25.0, 30.0, 35.0), p_dcc_values=(1.0, 0.5), seed=23)
+    lines = [
+        f"n={n}, 10% freeriders (delta1=1/7, delta2=0.1, delta3=0.1), 10% degraded honest",
+        f"calibrated compensation b~ = {result.compensation:.2f}; "
+        f"calibrated eta (beta<=1%) = {result.eta_calibrated:.2f}; paper eta = {result.eta:.2f}",
+        "",
+        " p_dcc  t(s)   alpha@eta_paper beta@eta_paper   alpha@eta_cal beta@eta_cal  degradedFP%",
+    ]
+    for p_dcc in (1.0, 0.5):
+        for t in (25.0, 30.0, 35.0):
+            paper = result.report(p_dcc, t)
+            cal = result.report_at(p_dcc, t, result.eta_calibrated)
+            share = result.degraded_false_positive_share(p_dcc, t)
+            lines.append(
+                f"  {p_dcc:3.1f}  {t:4.0f}      {paper.detection:6.2f}   {paper.false_positives:6.2f}"
+                f"          {cal.detection:6.2f}   {cal.false_positives:6.2f}      {share:6.0%}"
+            )
+    lines += [
+        "",
+        "paper landmark (30s, p_dcc=1): alpha=0.86, beta=0.12, FPs are poor nodes",
+        "paper landmark: detection at p_dcc=0.5/35s comparable to p_dcc=1/30s",
+    ]
+    record_report("fig14_planetlab_scores", "\n".join(lines))
+    return result
+
+
+def test_fig14_detection_landmarks(fig14_result, benchmark):
+    benchmark(lambda: fig14_result.report_at(1.0, 30.0, fig14_result.eta_calibrated))
+
+    cal_30 = fig14_result.report_at(1.0, 30.0, fig14_result.eta_calibrated)
+    # Paper: 86 % detection / 12 % false positives at 30 s.
+    assert cal_30.detection >= 0.7
+    assert cal_30.false_positives <= 0.2
+    # False positives are overwhelmingly the degraded (poor) nodes.
+    assert fig14_result.degraded_false_positive_share(1.0, 30.0) >= 0.7
+
+
+def test_fig14_pdcc_half_is_slower_but_not_twice(fig14_result, benchmark):
+    benchmark(lambda: fig14_result.report_at(0.5, 35.0, fig14_result.eta_calibrated))
+    eta = fig14_result.eta_calibrated
+    full_30 = fig14_result.report_at(1.0, 30.0, eta).detection
+    half_30 = fig14_result.report_at(0.5, 30.0, eta).detection
+    half_35 = fig14_result.report_at(0.5, 35.0, eta).detection
+    assert half_30 <= full_30 + 0.05
+    # "the detection after only 35 seconds with p_dcc = 0.5 is comparable
+    # with the detection after 30 seconds with p_dcc = 1".
+    assert half_35 >= full_30 - 0.25
+
+
+def test_fig14_scores_separate_over_time(fig14_result, benchmark):
+    import numpy as np
+
+    benchmark(lambda: fig14_result.snapshots[(1.0, 30.0)])
+
+    def gap(t):
+        scores = fig14_result.snapshots[(1.0, t)]
+        honest = [
+            s
+            for n, s in scores.items()
+            if n not in fig14_result.freerider_ids and n not in fig14_result.degraded_ids
+        ]
+        freeriders = [s for n, s in scores.items() if n in fig14_result.freerider_ids]
+        return float(np.mean(honest) - np.mean(freeriders))
+
+    # "the gap between the two cdfs widens over time" (§7.3).
+    assert gap(35.0) >= gap(25.0) - 0.5
+    assert gap(30.0) > 0

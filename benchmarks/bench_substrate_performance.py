@@ -1,0 +1,76 @@
+"""Substrate micro-benchmarks: engine throughput and sampler costs.
+
+Not a paper artefact — these guard the simulator's performance so the
+deployment-scale experiments stay tractable (a regression here silently
+turns the Figure 14 run from minutes into hours).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.mc.blame_model import BlameModel
+from repro.membership.full import FullMembership
+from repro.sim.engine import Simulator
+from repro.util.rng import make_generator
+
+
+def test_event_engine_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.call_later(0.001, tick)
+
+        sim.call_later(0.001, tick)
+        sim.run()
+        return count
+
+    result = benchmark(run_10k_events)
+    assert result == 10_000
+
+
+def test_membership_sampling_throughput(benchmark):
+    membership = FullMembership(make_generator(1, "bench"), range(10_000))
+
+    def sample_batch():
+        for node in range(0, 1000):
+            membership.sample(node, 12)
+
+    benchmark(sample_batch)
+
+
+def test_blame_sampler_throughput(benchmark):
+    model = BlameModel(fanout=12, request_size=4, p_reception=0.93)
+    rng = make_generator(2, "bench")
+    benchmark(lambda: model.sample_period_blames(rng, 100_000))
+
+
+def test_cluster_simulated_second(benchmark):
+    """Wall-clock cost of one simulated second of a 60-node deployment."""
+    from dataclasses import replace
+
+    from repro.config import planetlab_params
+    from repro.experiments.cluster import ClusterConfig, SimCluster
+
+    gossip, lifting = planetlab_params()
+    gossip = replace(gossip, n=60, fanout=5, source_fanout=5)
+    lifting = replace(lifting, managers=10)
+    cluster = SimCluster(ClusterConfig(gossip=gossip, lifting=lifting, seed=1))
+    cluster.run(until=3.0)  # warm-up
+
+    state = {"until": 3.0}
+
+    def one_second():
+        state["until"] += 1.0
+        cluster.run(until=state["until"])
+
+    benchmark.pedantic(one_second, rounds=5, iterations=1)
+    record_report(
+        "substrate_performance",
+        f"events processed in warm deployment: {cluster.sim.events_processed}",
+    )

@@ -1,0 +1,44 @@
+"""Table 1 — blame values per attack (conformance).
+
+=====================================  =============================
+attack                                  blame value
+=====================================  =============================
+fanout decrease (f̂ < f)                 f - f̂ from each verifier
+partial propose                         1 per invalid proposal
+partial serve (|S| < |R|)               f·(|R|-|S|)/|R| from receiver
+=====================================  =============================
+"""
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.core.blames import (
+    fanout_decrease_blame,
+    no_ack_blame,
+    partial_serve_blame,
+    witness_contradiction_blame,
+)
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    f = 7
+    rows = [
+        ("fanout decrease (f=7, f̂=6)", "f - f̂ = 1", fanout_decrease_blame(f, 6)),
+        ("fanout decrease (f=7, f̂=4)", "f - f̂ = 3", fanout_decrease_blame(f, 4)),
+        ("partial propose (per witness)", "1", witness_contradiction_blame()),
+        ("missing ack / invalid proposal", "f = 7", no_ack_blame(f)),
+        ("partial serve (|R|=4, |S|=3)", "f/|R| = 1.75", partial_serve_blame(f, 4, 3)),
+        ("partial serve (|R|=4, |S|=0)", "f = 7", partial_serve_blame(f, 4, 0)),
+    ]
+    lines = ["attack                             paper value     measured"]
+    for attack, paper, measured in rows:
+        lines.append(f"{attack:34s} {paper:15s} {measured:.2f}")
+    record_report("table1_blame_conformance", "\n".join(lines))
+    return rows
+
+
+def test_table1_blame_values(table1_rows, benchmark):
+    benchmark(lambda: partial_serve_blame(7, 4, 2))
+    expected = [1.0, 3.0, 1.0, 7.0, 1.75, 7.0]
+    assert [m for _a, _p, m in table1_rows] == pytest.approx(expected)

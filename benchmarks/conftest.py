@@ -1,0 +1,50 @@
+"""Benchmark-harness plumbing.
+
+Every bench regenerates one of the paper's tables or figures, records a
+human-readable report, and times a representative kernel with
+pytest-benchmark.  Reports are collected here and printed in the
+terminal summary (so they survive pytest's output capturing and land in
+``bench_output.txt``); they are also written to ``benchmarks/results/``.
+
+Scaling: the benches run scaled-down deployments by default so the full
+harness finishes in minutes; set ``REPRO_BENCH_FULL=1`` to run the
+paper-scale configurations (n=300, 60 s, n=10,000 Monte-Carlo...).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import List
+
+import pytest
+
+_REPORTS: List[str] = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """Whether to run paper-scale configurations."""
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def record_report(name: str, text: str) -> None:
+    """Register a report for the terminal summary and write it to disk."""
+    block = f"\n===== {name} =====\n{text.rstrip()}\n"
+    _REPORTS.append(block)
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{name}.txt").write_text(block)
+
+
+@pytest.fixture
+def report():
+    """The report-recording callable, as a fixture."""
+    return record_report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for block in _REPORTS:
+        terminalreporter.write(block)

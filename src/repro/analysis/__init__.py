@@ -1,0 +1,43 @@
+"""Closed-form results of the paper's §6 analysis.
+
+Pure functions of the protocol parameters — no simulation state — used
+in three places: blame compensation inside the protocol (managers add
+``b̃`` per period, §6.2), the detection/false-positive bounds (§6.3.1),
+and the entropy threshold calibration (§6.3.2).  The Monte-Carlo engine
+(:mod:`repro.mc`) validates every expectation here by sampling.
+"""
+
+from repro.analysis.detection import (
+    alpha_lower_bound,
+    beta_upper_bound,
+    freerider_score_expectation,
+)
+from repro.analysis.entropy_analysis import (
+    collusion_entropy,
+    max_bias_probability,
+    max_fanout_entropy,
+)
+from repro.analysis.freerider_blames import expected_blame_freerider
+from repro.analysis.overhead import MessageCountModel, expected_message_counts
+from repro.analysis.wrongful_blames import (
+    expected_blame_apcc,
+    expected_blame_cross_checking,
+    expected_blame_direct_verification,
+    expected_blame_honest,
+)
+
+__all__ = [
+    "MessageCountModel",
+    "alpha_lower_bound",
+    "beta_upper_bound",
+    "collusion_entropy",
+    "expected_blame_apcc",
+    "expected_blame_cross_checking",
+    "expected_blame_direct_verification",
+    "expected_blame_freerider",
+    "expected_blame_honest",
+    "expected_message_counts",
+    "freerider_score_expectation",
+    "max_bias_probability",
+    "max_fanout_entropy",
+]

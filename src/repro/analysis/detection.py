@@ -1,0 +1,77 @@
+"""Detection and false-positive bounds (§6.3.1).
+
+After ``r`` periods the normalised score is
+``s = -(1/r) Σ (b_i - b̃)``; assuming i.i.d. per-period blames,
+``E[s] = 0`` for honest nodes and ``σ(s) = σ(b)/√r``.
+Bienaymé–Tchebychev then bounds
+
+* the false-positive probability
+  ``β = P(s < η) ≤ σ(b)² / (r η²)``, and
+* the detection probability
+  ``α ≥ 1 - σ(b')² / (r · (E[excess] + η)²)``
+
+where ``excess = b̃'(Δ) - b̃`` is the freerider's mean blame surplus.
+(The paper writes the denominator as ``(b̃'(Δ) - η)²``, implicitly
+measuring ``b̃'`` relative to the compensated baseline; we make the
+subtraction of ``b̃`` explicit.)
+
+Both bounds are loose — the Monte-Carlo engine provides the exact
+distributions — but they are what allows a deployment to pick ``η``
+and a minimum residence time ``r`` a priori.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.freerider_blames import expected_blame_excess
+from repro.config import FreeriderDegree
+from repro.util.validation import require
+
+
+def beta_upper_bound(sigma_b: float, r: int, eta: float) -> float:
+    """Upper bound on the false-positive probability ``β``.
+
+    ``β = P(s < η) ≤ σ(b)² / (r η²)`` — meaningful only for ``η < 0``.
+    The bound is clipped to [0, 1].
+    """
+    require(r >= 1, "r must be >= 1, got %d", r)
+    require(eta < 0, "eta must be negative, got %r", eta)
+    require(sigma_b >= 0, "sigma_b must be >= 0")
+    return min(1.0, sigma_b**2 / (r * eta**2))
+
+
+def alpha_lower_bound(sigma_b_freerider: float, r: int, eta: float, mean_excess: float) -> float:
+    """Lower bound on the detection probability ``α``.
+
+    ``mean_excess`` is ``b̃'(Δ) - b̃`` (see
+    :func:`repro.analysis.freerider_blames.expected_blame_excess`).
+    A freerider whose mean normalised score ``-mean_excess`` does not
+    even reach the threshold (``-mean_excess >= η``) gets the trivial
+    bound 0 — Tchebychev cannot promise detection there.
+    """
+    require(r >= 1, "r must be >= 1, got %d", r)
+    require(sigma_b_freerider >= 0, "sigma must be >= 0")
+    gap = mean_excess + eta  # distance of the mean score below η
+    if gap <= 0:
+        return 0.0
+    return max(0.0, 1.0 - sigma_b_freerider**2 / (r * gap**2))
+
+
+def freerider_score_expectation(
+    degree: FreeriderDegree, f: int, request_size: int, p_r: float, p_dcc: float = 1.0
+) -> float:
+    """Expected normalised score of a freerider (``-(b̃'(Δ) - b̃)``)."""
+    return -expected_blame_excess(degree, f, request_size, p_r, p_dcc)
+
+
+def minimum_periods_for_beta(sigma_b: float, eta: float, beta_target: float) -> int:
+    """Smallest residence time ``r`` with ``β``-bound below ``beta_target``.
+
+    Deployments use this to set the grace period before score-based
+    expulsion: "the performance of LiFTinG increases over time" (§6.3.1).
+    """
+    require(0 < beta_target < 1, "beta_target must be in (0, 1)")
+    require(eta < 0, "eta must be negative")
+    require(sigma_b > 0, "sigma_b must be > 0")
+    import math
+
+    return max(1, math.ceil(sigma_b**2 / (beta_target * eta**2)))

@@ -1,0 +1,86 @@
+"""Expected blames applied to freeriders, ``b̃'(Δ)`` (§6.3.1).
+
+A freerider of degree ``Δ = (δ1, δ2, δ3)`` collects, per gossip period:
+
+* the direct-verification blames of its ``(1-δ1)f`` partners, inflated
+  by its partial serves (``δ3``);
+* blame ``f`` from each of the ``δ2·f`` verifiers whose chunks it
+  silently dropped from its proposal;
+* the cross-checking blames of the remaining ``(1-δ2)f`` verifiers,
+  inflated by its reduced fanout (each of the ``δ1·f`` missing witnesses
+  is one contradictory testimony).
+
+The paper's closed form (reproduced verbatim by
+:func:`expected_blame_freerider` at ``p_dcc = 1``)::
+
+    b̃'(Δ) = (1-δ1)·p_r(1-p_r²(1-δ3))·f²  +  δ2·f²
+           + (1-δ2)·p_r²·[ p_r^{|R|+1}(1-p_r³(1-δ1)) + (1-p_r^{|R|+1}) ]·f²
+
+Setting ``Δ = (0,0,0)`` recovers the honest expectation ``b̃`` (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.wrongful_blames import expected_blame_honest
+from repro.config import FreeriderDegree
+from repro.util.validation import require, require_probability
+
+
+def expected_blame_freerider(
+    degree: FreeriderDegree,
+    f: int,
+    request_size: int,
+    p_r: float,
+    p_dcc: float = 1.0,
+) -> float:
+    """``b̃'(Δ)`` — expected per-period blame of a freerider.
+
+    Generalised to ``p_dcc`` the same way as Eq. (3): the per-witness
+    term requires a confirm round for the *present* witnesses, while the
+    ``δ1·f`` missing witnesses are detected from the ack alone (the ack
+    lists fewer than ``f`` partners, Table 1's ``f - f̂`` blame) and the
+    invalid-proposal term (a) needs no confirm either.
+
+    >>> from repro.config import FreeriderDegree
+    >>> honest = expected_blame_freerider(FreeriderDegree(0, 0, 0), 12, 4, 0.93)
+    >>> round(honest, 2)   # reduces to Eq. (5)
+    72.95
+    """
+    require(f >= 1, "fanout must be >= 1, got %d", f)
+    require(request_size >= 1, "request_size must be >= 1")
+    require_probability(p_r, "p_r")
+    require_probability(p_dcc, "p_dcc")
+    d1, d2, d3 = degree.as_tuple()
+    f2 = float(f * f)
+
+    # Direct verification by the (1-δ1)f partners.
+    term_dv = (1.0 - d1) * p_r * (1.0 - p_r**2 * (1.0 - d3)) * f2
+
+    # Verifiers whose chunks were dropped from the proposal: blame f each.
+    term_dropped = d2 * f2
+
+    # Cross-checking by the remaining verifiers.
+    p_intact = p_r ** (request_size + 1)
+    witness_miss = d1 + (1.0 - d1) * p_dcc * (1.0 - p_r**3)
+    term_dcc = (1.0 - d2) * p_r**2 * (
+        (1.0 - p_intact) * f2 + p_intact * witness_miss * f2
+    )
+    return term_dv + term_dropped + term_dcc
+
+
+def expected_blame_excess(
+    degree: FreeriderDegree,
+    f: int,
+    request_size: int,
+    p_r: float,
+    p_dcc: float = 1.0,
+) -> float:
+    """``b̃'(Δ) - b̃`` — how far a freerider's mean score drifts below 0.
+
+    After compensation an honest node's normalised score has mean 0 and
+    a freerider's has mean ``-(b̃'(Δ) - b̃)``; detection compares that
+    drift to the threshold ``η``.
+    """
+    return expected_blame_freerider(degree, f, request_size, p_r, p_dcc) - (
+        expected_blame_honest(f, request_size, p_r, p_dcc)
+    )

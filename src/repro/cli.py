@@ -1,0 +1,183 @@
+"""Command-line interface: run deployments and experiments from a shell.
+
+Installed as ``python -m repro.cli`` (or via the ``repro`` console
+script when packaged).  Subcommands:
+
+* ``detect`` — build a simulated deployment with freeriders, calibrate,
+  run, and print the detection report (the quickstart as a command).
+* ``health`` — the Figure 1 scenario: baseline vs freeriders vs
+  freeriders-under-LiFTinG health curves.
+* ``analyze`` — print the closed-form design constants for a parameter
+  set (b̃, detection bounds, entropy ceilings).
+* ``live`` — run the asyncio runtime over real loopback sockets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.config import FreeriderDegree, planetlab_params
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", "-n", type=int, default=100, help="system size")
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+    parser.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
+    parser.add_argument("--loss", type=float, default=0.04, help="datagram loss rate")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LiFTinG: Lightweight Freerider-Tracking in Gossip (MIDDLEWARE 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="run a deployment and detect freeriders")
+    _add_common(detect)
+    detect.add_argument("--freeriders", type=float, default=0.10, help="freerider fraction")
+    detect.add_argument("--delta1", type=float, default=1 / 7)
+    detect.add_argument("--delta2", type=float, default=0.1)
+    detect.add_argument("--delta3", type=float, default=0.1)
+    detect.add_argument("--p-dcc", type=float, default=1.0, help="cross-check probability")
+    detect.add_argument("--expel", action="store_true", help="enforce expulsion")
+
+    health = sub.add_parser("health", help="Figure 1's three health curves")
+    _add_common(health)
+    health.add_argument("--freeriders", type=float, default=0.25)
+
+    analyze = sub.add_parser("analyze", help="closed-form design constants")
+    analyze.add_argument("--fanout", "-f", type=int, default=12)
+    analyze.add_argument("--request-size", "-R", type=int, default=4)
+    analyze.add_argument("--loss", type=float, default=0.07)
+    analyze.add_argument("--colluders", type=int, default=25)
+    analyze.add_argument("--history", type=int, default=50, help="n_h periods")
+
+    live = sub.add_parser("live", help="run over real loopback sockets (asyncio)")
+    live.add_argument("--nodes", "-n", type=int, default=12)
+    live.add_argument("--seed", type=int, default=1)
+    live.add_argument("--duration", type=float, default=5.0, help="real seconds")
+    live.add_argument("--freeriders", type=float, default=0.2)
+    return parser
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.experiments.calibration import calibrate
+    from repro.experiments.cluster import ClusterConfig, SimCluster
+
+    gossip, lifting = planetlab_params()
+    gossip = replace(gossip, n=args.nodes, chunk_size=1400)
+    lifting = replace(lifting, p_dcc=args.p_dcc, assumed_loss_rate=args.loss)
+    print("calibrating...", file=sys.stderr)
+    cal = calibrate(gossip, lifting, seed=args.seed + 1, duration=10.0, loss_rate=args.loss)
+    eta = cal.eta_for_false_positives(0.01)
+    cluster = SimCluster(
+        ClusterConfig(
+            gossip=gossip,
+            lifting=lifting,
+            seed=args.seed,
+            loss_rate=args.loss,
+            freerider_fraction=args.freeriders,
+            freerider_degree=FreeriderDegree(args.delta1, args.delta2, args.delta3),
+            compensation=cal.compensation,
+            expulsion_enabled=args.expel,
+        )
+    )
+    cluster.run(until=args.duration)
+    print(f"compensation b~ = {cal.compensation:.2f}, eta = {eta:.2f}")
+    print(cluster.detection(eta=eta).summary())
+    print(cluster.overhead())
+    if args.expel:
+        expelled = cluster.controller.expelled_nodes()
+        wrongful = [n for n in expelled if n not in cluster.freerider_ids]
+        print(f"expelled: {len(expelled)} ({len(wrongful)} honest)")
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.experiments.fig1 import run_fig1
+
+    result = run_fig1(
+        n=args.nodes,
+        duration=args.duration,
+        seed=args.seed,
+        freerider_fraction=args.freeriders,
+    )
+    print("lag(s)  baseline  freeriders  freeriders+LiFTinG")
+    for lag, base, collapsed, protected in result.rows():
+        print(f"{lag:5.0f}   {base:7.2f}   {collapsed:9.2f}   {protected:12.2f}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.entropy_analysis import (
+        achievable_max_bias,
+        gamma_for_window,
+        max_bias_probability,
+    )
+    from repro.analysis.freerider_blames import expected_blame_excess
+    from repro.analysis.overhead import expected_message_counts
+    from repro.analysis.wrongful_blames import expected_blame_honest
+
+    p_r = 1.0 - args.loss
+    f, big_r = args.fanout, args.request_size
+    print(f"f={f}, |R|={big_r}, loss={args.loss:.0%}")
+    print(f"compensation b~ (Eq. 5):       {expected_blame_honest(f, big_r, p_r):.2f}")
+    for delta in (0.035, 0.05, 0.1):
+        degree = FreeriderDegree.uniform(delta)
+        print(
+            f"blame excess at delta={delta:5.3f}: "
+            f"{expected_blame_excess(degree, f, big_r, p_r):6.2f} "
+            f"(gain {degree.bandwidth_gain:.0%})"
+        )
+    window = args.history * f
+    gamma = gamma_for_window(window)
+    print(f"audit window {window} entries -> gamma = {gamma:.2f}")
+    print(
+        f"collusion ceiling for m'={args.colluders}: "
+        f"Eq.7 {max_bias_probability(gamma, args.colluders, window):.2f}, "
+        f"achievable {achievable_max_bias(gamma, args.colluders, window):.2f}"
+    )
+    counts = expected_message_counts(f, big_r, 1.0, 25)
+    print(
+        f"message budget/node/period: data {counts.data_messages:.0f}, "
+        f"verification {counts.verification_messages:.0f}"
+    )
+    return 0
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime import RuntimeCluster, RuntimeConfig
+
+    config = RuntimeConfig(
+        n=args.nodes,
+        duration=args.duration,
+        seed=args.seed,
+        freerider_fraction=args.freeriders,
+        freerider_degree=FreeriderDegree(0.25, 0.3, 0.3),
+    )
+    report = asyncio.run(RuntimeCluster(config).run())
+    print(f"chunks: {report.chunks_emitted}, delivery {report.delivery_ratio:.1%}")
+    print(report.detection.summary())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "detect": _cmd_detect,
+        "health": _cmd_health,
+        "analyze": _cmd_analyze,
+        "live": _cmd_live,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,301 @@
+"""Decentralised reputation — the Alliatrust-like substrate of §5.1.
+
+Every node is assigned ``M`` pseudo-random *managers* that each keep a
+copy of its score.  Blaming a node means sending a ``Blame`` message to
+all of its managers; reading a score means querying the managers and
+voting over the replies with **min** (resilient to lost blames and to
+colluding managers inflating scores).  The very same managers decide
+expulsion: each manager that locally observes the compensated score
+below ``η`` (after the grace period) votes, and a quorum of votes expels
+the node.
+
+Wrongful-blame compensation (§6.2) is applied at read time: the
+normalised score after ``r`` periods is::
+
+    s = -(1/r) Σ (b_i - b̃) = b̃ - B/r
+
+where ``B`` is the cumulative blame a manager recorded and ``b̃`` the
+closed-form expectation of Eq. (5) under the deployment's assumed loss
+rate.  Honest nodes therefore hover around 0 regardless of how lossy
+the network is, which is what makes a *fixed* threshold usable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.wrongful_blames import expected_blame_honest
+from repro.config import GossipParams, LiftingParams
+from repro.util.rng import make_generator
+from repro.util.validation import require
+
+NodeId = int
+
+
+class ManagerAssignment:
+    """Deterministic node → managers map shared by the whole system.
+
+    Derived from a seed so that every node computes the same assignment
+    without coordination (in a deployment this would be consistent
+    hashing over the membership; the paper only requires "M random
+    managers").
+    """
+
+    def __init__(self, population: Sequence[NodeId], managers: int, seed: int) -> None:
+        population = list(population)
+        require(len(population) >= 2, "need at least 2 nodes for manager assignment")
+        count = min(managers, len(population) - 1)
+        require(count >= 1, "need at least 1 manager per node")
+        self.managers_per_node = count
+        rng = make_generator(seed, "manager-assignment")
+        self._managers: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        self._managed: Dict[NodeId, List[NodeId]] = {node: [] for node in population}
+        arr = np.array(population)
+        for node in population:
+            others = arr[arr != node]
+            picks = rng.choice(others, size=count, replace=False)
+            managers_of_node = tuple(int(p) for p in picks)
+            self._managers[node] = managers_of_node
+            for manager in managers_of_node:
+                self._managed[manager].append(node)
+
+    def managers_of(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """The managers holding ``node``'s score."""
+        return self._managers.get(node, ())
+
+    def managed_by(self, manager: NodeId) -> Tuple[NodeId, ...]:
+        """The nodes whose score ``manager`` keeps."""
+        return tuple(self._managed.get(manager, ()))
+
+    def is_manager_of(self, manager: NodeId, node: NodeId) -> bool:
+        """Whether ``manager`` holds a copy of ``node``'s score."""
+        return manager in self._managers.get(node, ())
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._managers
+
+
+@dataclass
+class ManagerRecord:
+    """One manager's copy of one node's reputation state."""
+
+    target: NodeId
+    joined_at: float
+    blame_total: float = 0.0
+    blame_events: int = 0
+    voted_expel: bool = False
+    expel_votes: Set[NodeId] = field(default_factory=set)
+    expelled: bool = False
+
+
+def compensation_per_period(gossip: GossipParams, lifting: LiftingParams) -> float:
+    """``b̃`` — Eq. (5) under the deployment's assumed loss rate."""
+    return expected_blame_honest(
+        gossip.fanout, gossip.request_size, lifting.p_reception, lifting.p_dcc
+    )
+
+
+class ReputationManager:
+    """The manager component hosted by every node.
+
+    Parameters
+    ----------
+    owner:
+        The hosting node's id.
+    assignment:
+        The global manager assignment.
+    gossip, lifting:
+        Protocol parameters (``T_g`` for period counting, ``η``,
+        quorum, grace period...).
+    now:
+        Clock callable (bound to the simulator or the asyncio loop).
+    compensation:
+        Per-period wrongful-blame compensation ``b̃``; computed from the
+        closed form when omitted.  Pass 0.0 to ablate compensation.
+    """
+
+    def __init__(
+        self,
+        owner: NodeId,
+        assignment: ManagerAssignment,
+        gossip: GossipParams,
+        lifting: LiftingParams,
+        now: Callable[[], float],
+        compensation: Optional[float] = None,
+        start_time: float = 0.0,
+    ) -> None:
+        self.owner = owner
+        self.assignment = assignment
+        self.gossip = gossip
+        self.lifting = lifting
+        self.now = now
+        self.compensation = (
+            compensation_per_period(gossip, lifting) if compensation is None else compensation
+        )
+        self.records: Dict[NodeId, ManagerRecord] = {
+            target: ManagerRecord(target=target, joined_at=start_time)
+            for target in assignment.managed_by(owner)
+        }
+        self._quorum_votes = max(
+            1, math.ceil(lifting.expel_quorum * assignment.managers_per_node)
+        )
+
+    # ------------------------------------------------------------------
+    # blame handling
+    # ------------------------------------------------------------------
+    def on_blame(self, target: NodeId, value: float) -> None:
+        """Record a blame (positive) or a compensation credit (negative)."""
+        record = self.records.get(target)
+        if record is None:
+            return  # not a manager of this node; drop silently
+        record.blame_total += value
+        record.blame_events += 1
+
+    def periods_elapsed(self, record: ManagerRecord) -> float:
+        """``r`` — gossip periods the target has spent in the system."""
+        elapsed = (self.now() - record.joined_at) / self.gossip.gossip_period
+        return max(elapsed, 1e-9)
+
+    def normalized_score(self, target: NodeId) -> Optional[float]:
+        """Compensated, time-normalised score ``s = b̃ - B/r``.
+
+        Returns None when this manager does not manage ``target``.
+        """
+        record = self.records.get(target)
+        if record is None:
+            return None
+        r = self.periods_elapsed(record)
+        return self.compensation - record.blame_total / r
+
+    # ------------------------------------------------------------------
+    # expulsion voting
+    # ------------------------------------------------------------------
+    def expulsion_candidates(self) -> List[NodeId]:
+        """Managed nodes this manager should now vote to expel.
+
+        Marks them as voted so each manager votes at most once.
+        """
+        candidates: List[NodeId] = []
+        for target, record in self.records.items():
+            if record.voted_expel or record.expelled:
+                continue
+            r = self.periods_elapsed(record)
+            if r < self.lifting.min_periods_before_expel:
+                continue
+            score = self.compensation - record.blame_total / r
+            if score < self.lifting.eta:
+                record.voted_expel = True
+                record.expel_votes.add(self.owner)
+                candidates.append(target)
+        return candidates
+
+    def on_expel_vote(self, voter: NodeId, target: NodeId) -> bool:
+        """Register a co-manager's vote; True when the quorum is reached.
+
+        Returns True exactly once (the record is then marked expelled so
+        duplicate quorums don't re-trigger).
+        """
+        record = self.records.get(target)
+        if record is None or record.expelled:
+            return False
+        record.expel_votes.add(voter)
+        if len(record.expel_votes) >= self._quorum_votes:
+            record.expelled = True
+            return True
+        return False
+
+    def mark_expelled(self, target: NodeId) -> None:
+        """Note that ``target`` was expelled (stops further voting)."""
+        record = self.records.get(target)
+        if record is not None:
+            record.expelled = True
+
+
+class ScoreReader:
+    """Message-based min-vote score reads (§5.1's protocol flavour).
+
+    The oracle :class:`ScoreBoard` reads manager state directly (used by
+    metrics); this component performs the real thing — a ``ScoreQuery``
+    fan-out to the target's managers, a timeout, and a **min** vote over
+    the replies.  Hosted by a protocol node (same host facade as the
+    verification engine).
+    """
+
+    def __init__(self, host, timeout: float = 1.0) -> None:
+        self.host = host
+        self.timeout = timeout
+        self._queries: Dict[int, dict] = {}
+        self._counter = 0
+
+    def query(self, target: NodeId, callback: Callable[[Optional[float]], None]) -> None:
+        """Read ``target``'s score; ``callback(None)`` if nobody replied."""
+        from repro.wire import ScoreQuery
+
+        self._counter += 1
+        query_id = self._counter
+        managers = self.host.assignment.managers_of(target)
+        self._queries[query_id] = {"target": target, "values": [], "callback": callback}
+        for manager_id in managers:
+            if manager_id == self.host.node_id and self.host.manager is not None:
+                value = self.host.manager.normalized_score(target)
+                if value is not None:
+                    self._queries[query_id]["values"].append(value)
+            else:
+                self.host.send(manager_id, ScoreQuery(target=target))
+        self.host.call_later(self.timeout, lambda: self._finish(query_id))
+
+    def on_reply(self, src: NodeId, target: NodeId, score: float, known: bool) -> None:
+        """Collect a manager's reply into every open query for ``target``."""
+        if not known:
+            return
+        for state in self._queries.values():
+            if state["target"] == target:
+                state["values"].append(score)
+
+    def _finish(self, query_id: int) -> None:
+        state = self._queries.pop(query_id, None)
+        if state is None:
+            return
+        values = state["values"]
+        state["callback"](min(values) if values else None)
+
+
+class ScoreBoard:
+    """Min-vote score reads over a collection of managers.
+
+    In the deployment this is a ``ScoreQuery`` fan-out; for metrics we
+    read the manager states directly (same values, no extra traffic) —
+    the vote function is the paper's **min** either way.
+    """
+
+    def __init__(self, managers_by_node: Dict[NodeId, ReputationManager]) -> None:
+        self._managers = managers_by_node
+
+    def score(self, target: NodeId, assignment: ManagerAssignment) -> Optional[float]:
+        """Min over the scores returned by ``target``'s managers."""
+        values: List[float] = []
+        for manager_id in assignment.managers_of(target):
+            manager = self._managers.get(manager_id)
+            if manager is None:
+                continue
+            value = manager.normalized_score(target)
+            if value is not None:
+                values.append(value)
+        if not values:
+            return None
+        return min(values)
+
+    def scores(
+        self, targets: Iterable[NodeId], assignment: ManagerAssignment
+    ) -> Dict[NodeId, float]:
+        """Min-vote scores for many targets (missing ones omitted)."""
+        out: Dict[NodeId, float] = {}
+        for target in targets:
+            value = self.score(target, assignment)
+            if value is not None:
+                out[target] = value
+        return out

@@ -1,0 +1,282 @@
+"""Build and drive a complete simulated deployment.
+
+:class:`SimCluster` is the testbed-in-a-box used by the PlanetLab-style
+experiments (Figures 1, 14, Tables 3, 5): a discrete-event simulator, a
+lossy network with per-node heterogeneity, a stream source, ``n``
+protocol nodes with configured roles (honest / freerider / colluder /
+degraded), the manager assignment and the expulsion controller.
+
+Roles are assigned pseudo-randomly from the seed, so a cluster is fully
+reproducible from its :class:`ClusterConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set
+
+from repro.config import (
+    FreeriderDegree,
+    GossipParams,
+    HONEST_DEGREE,
+    LiftingParams,
+)
+from repro.core.detector import ExpulsionController
+from repro.core.reputation import ManagerAssignment, ScoreBoard, compensation_per_period
+from repro.gossip.chunks import StreamSource
+from repro.gossip.protocol import GossipNode, SimTransport
+from repro.membership.full import FullMembership
+from repro.metrics.health import HealthReport, health_curve
+from repro.metrics.overhead import OverheadReport, bandwidth_overhead
+from repro.metrics.scores import DetectionReport, detection_report
+from repro.nodes.behavior import HonestBehavior
+from repro.nodes.colluder import Coalition, ColludingBehavior
+from repro.nodes.freerider import FreeriderBehavior
+from repro.sim.engine import Simulator
+from repro.sim.latency import UniformLatency
+from repro.sim.loss import PerNodeLoss
+from repro.sim.network import Network
+from repro.util.rng import SeedSequenceFactory
+from repro.util.validation import require, require_probability
+
+NodeId = int
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to reproduce a deployment run."""
+
+    gossip: GossipParams
+    lifting: LiftingParams
+    seed: int = 0
+    #: base i.i.d. datagram loss (4 % ≈ the PlanetLab average).
+    loss_rate: float = 0.04
+    #: one-way latency drawn uniformly from this range (seconds).
+    latency_range: tuple = (0.01, 0.08)
+    #: upload capacity in bytes/s for regular nodes (None = unlimited).
+    upload_rate: Optional[float] = None
+
+    # --- adversary population ---------------------------------------
+    freerider_fraction: float = 0.0
+    freerider_degree: FreeriderDegree = HONEST_DEGREE
+    colluding: bool = False
+    collusion_bias: float = 0.0
+    man_in_the_middle: bool = False
+    forge_history: bool = False
+    period_stride: int = 1
+
+    # --- PlanetLab-style heterogeneity -------------------------------
+    #: fraction of *honest* nodes with a poor connection.
+    degraded_fraction: float = 0.0
+    #: extra endpoint loss applied to degraded nodes.
+    degraded_loss: float = 0.15
+    #: upload capacity of degraded nodes (bytes/s; None = same).
+    degraded_upload: Optional[float] = None
+
+    # --- LiFTinG switches --------------------------------------------
+    lifting_enabled: bool = True
+    expulsion_enabled: bool = False
+    #: per-period compensation b̃; None = closed form, 0.0 = ablated.
+    compensation: Optional[float] = None
+    #: probability that a node starts a sporadic local-history audit of
+    #: a random peer each gossip period (§5: "run sporadically").
+    p_audit: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_probability(self.freerider_fraction, "freerider_fraction")
+        require_probability(self.degraded_fraction, "degraded_fraction")
+        require_probability(self.loss_rate, "loss_rate")
+        require(self.period_stride >= 1, "period_stride must be >= 1")
+
+    def with_changes(self, **changes) -> "ClusterConfig":
+        """A modified copy (sweeps use this)."""
+        return replace(self, **changes)
+
+
+class SimCluster:
+    """A fully wired simulated deployment."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        gossip, lifting = config.gossip, config.lifting
+        seeds = SeedSequenceFactory(config.seed)
+        self.seeds = seeds
+
+        self.sim = Simulator()
+        self.loss = PerNodeLoss(seeds.generator("loss"), base=config.loss_rate)
+        low, high = config.latency_range
+        self.latency = UniformLatency(seeds.generator("latency"), low, high)
+        self.network = Network(self.sim, latency=self.latency, loss=self.loss)
+        self.trace = self.network.trace
+
+        node_ids = list(range(gossip.n))
+        self.node_ids = node_ids
+
+        # --- roles ----------------------------------------------------
+        role_rng = seeds.generator("roles")
+        n_freeriders = int(round(config.freerider_fraction * gossip.n))
+        shuffled = list(node_ids)
+        role_rng.shuffle(shuffled)
+        self.freerider_ids: Set[NodeId] = set(shuffled[:n_freeriders])
+        honest_pool = shuffled[n_freeriders:]
+        n_degraded = int(round(config.degraded_fraction * len(honest_pool)))
+        self.degraded_ids: Set[NodeId] = set(honest_pool[:n_degraded])
+        self.honest_ids: Set[NodeId] = set(honest_pool)
+
+        # --- shared services -------------------------------------------
+        self.membership = FullMembership(seeds.generator("membership"), node_ids)
+        self.assignment = ManagerAssignment(
+            node_ids, lifting.managers, seeds.seed("managers")
+        )
+        self.controller = ExpulsionController(
+            self.network, [self.membership], enabled=config.expulsion_enabled
+        )
+        self.compensation = (
+            compensation_per_period(gossip, lifting)
+            if config.compensation is None
+            else config.compensation
+        )
+
+        # --- source -----------------------------------------------------
+        self.source = StreamSource(self.sim, self.network, self.membership, gossip)
+        self.network.register(self.source)
+
+        # --- nodes -------------------------------------------------------
+        coalition = Coalition(self.freerider_ids) if config.colluding else None
+        transport = SimTransport(self.sim, self.network)
+        self.nodes: Dict[NodeId, GossipNode] = {}
+        for node_id in node_ids:
+            behavior = self._make_behavior(node_id, coalition)
+            node = GossipNode(
+                node_id=node_id,
+                transport=transport,
+                sampler=self.membership,
+                gossip=gossip,
+                lifting=lifting,
+                behavior=behavior,
+                assignment=self.assignment,
+                rng=seeds.generator("node", node_id),
+                lifting_enabled=config.lifting_enabled,
+                compensation=self.compensation,
+                chunk_created_at=self.source.created_at,
+                on_expel_quorum=self._on_expel_quorum,
+                p_audit=config.p_audit,
+            )
+            self.nodes[node_id] = node
+            upload = config.upload_rate if config.upload_rate is not None else math.inf
+            if node_id in self.degraded_ids:
+                self.loss.set_node_loss(node_id, config.degraded_loss)
+                if config.degraded_upload is not None:
+                    upload = config.degraded_upload
+            self.network.register(node, upload_rate=upload)
+
+        self.scoreboard = ScoreBoard(
+            {nid: node.manager for nid, node in self.nodes.items() if node.manager}
+        )
+        self._started = False
+
+    def _make_behavior(self, node_id: NodeId, coalition: Optional[Coalition]):
+        config = self.config
+        if node_id not in self.freerider_ids:
+            return HonestBehavior()
+        if coalition is not None:
+            return ColludingBehavior(
+                config.freerider_degree,
+                coalition,
+                bias=config.collusion_bias,
+                man_in_the_middle=config.man_in_the_middle,
+                forge_history=config.forge_history,
+                period_stride=config.period_stride,
+            )
+        return FreeriderBehavior(config.freerider_degree, period_stride=config.period_stride)
+
+    def _on_expel_quorum(self, issuer: NodeId, target: NodeId, reason: str) -> None:
+        # An expelled node keeps its local timers running (the simulator
+        # cannot reach into closures), but it has lost all authority: its
+        # pending audit verdicts and quorum claims are void.
+        if self.controller.is_expelled(issuer):
+            return
+        self.controller.expel(target, reason)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the source and every node (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.source.start(first_at=0.05)
+        for node in self.nodes.values():
+            node.start()
+
+    def run(self, until: float) -> None:
+        """Advance simulated time to ``until`` (starting if needed)."""
+        self.start()
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+    def scores(self) -> Dict[NodeId, float]:
+        """Min-vote compensated scores of every node (§5.1's read)."""
+        return self.scoreboard.scores(self.node_ids, self.assignment)
+
+    def detection(self, eta: Optional[float] = None) -> DetectionReport:
+        """Detection / false-positive report at threshold ``eta``."""
+        threshold = self.config.lifting.eta if eta is None else eta
+        return detection_report(self.scores(), self.freerider_ids, threshold)
+
+    def health(
+        self, *, lags=None, coverage: float = 0.99, window=None, include=None
+    ) -> HealthReport:
+        """Figure 1's health curve over (a subset of) the nodes."""
+        if include is None:
+            nodes = list(self.nodes.values())
+        else:
+            nodes = [self.nodes[nid] for nid in include]
+        return health_curve(nodes, self.source, lags=lags, coverage=coverage, window=window)
+
+    def overhead(self, duration: Optional[float] = None) -> OverheadReport:
+        """Table 5's bandwidth-overhead report for the run so far."""
+        elapsed = self.sim.now if duration is None else duration
+        return bandwidth_overhead(self.trace, elapsed, self.config.gossip.n)
+
+    def node(self, node_id: NodeId) -> GossipNode:
+        """Access one protocol node."""
+        return self.nodes[node_id]
+
+    def alive_ids(self) -> List[NodeId]:
+        """Node ids not (yet) expelled."""
+        return [nid for nid in self.node_ids if not self.controller.is_expelled(nid)]
+
+    # ------------------------------------------------------------------
+    # churn
+    # ------------------------------------------------------------------
+    def leave(self, node_id: NodeId) -> None:
+        """A node departs voluntarily: stop its loop and deregister it.
+
+        Unlike expulsion this is not recorded as a sanction; other nodes
+        simply stop sampling it.
+        """
+        node = self.nodes[node_id]
+        node.stop()
+        self.network.disconnect(node_id)
+        self.membership.remove(node_id)
+
+    def rejoin(self, node_id: NodeId) -> None:
+        """A departed node comes back (fresh gossip state, same score
+        record — the paper's absolute scores make returning nodes
+        comparable to incumbents, §6.2)."""
+        self.network.reconnect(node_id)
+        self.membership.add(node_id)
+        self.nodes[node_id].start()
+
+    def audit_results(self):
+        """All sporadic-audit results collected across the cluster."""
+        out = []
+        for node in self.nodes.values():
+            if node.auditor is not None:
+                out.extend(node.auditor.results)
+        return out

@@ -1,0 +1,148 @@
+"""Figure 1 — system health in the presence of freeriders.
+
+Three deployments of the streaming protocol:
+
+1. **No freeriders** (baseline; LiFTinG disabled so its overhead does
+   not enter the comparison).
+2. **Freeriders, no LiFTinG** — with no verification there is nothing
+   to fear, so the wise freeriders of the paper freeride heavily and
+   the dissemination collapses.
+3. **Freeriders + LiFTinG** — verification and expulsion are active;
+   wise freeriders cap their degree at the point where the detection
+   probability stays below 50 % (δ ≈ 0.035, §6.3.1 / Figure 12), so
+   the system stays close to the baseline.
+
+The y-axis is the fraction of nodes viewing a clear stream at a given
+stream lag (see :mod:`repro.metrics.health`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.config import FreeriderDegree, GossipParams, LiftingParams, planetlab_params
+from repro.experiments.cluster import ClusterConfig, SimCluster
+from repro.metrics.health import HealthReport
+
+#: what "as much as possible" means when nothing watches: serve/propose
+#: barely anything while still requesting everything.
+HEAVY_FREERIDING = FreeriderDegree(delta1=0.8, delta2=0.7, delta3=0.8)
+#: the wise degree under LiFTinG — detection probability ≈ 50 % (§6.3.1).
+WISE_FREERIDING = FreeriderDegree.uniform(0.035)
+#: upload capacity relative to the stream rate.  PlanetLab nodes had
+#: finite uplinks; a 2× headroom makes upload the binding resource, so
+#: withheld freerider bandwidth actually hurts — without a cap the
+#: honest nodes would invisibly absorb all the extra load.
+UPLOAD_HEADROOM = 2.0
+
+
+@dataclass
+class Fig1Result:
+    """The three health curves of Figure 1."""
+
+    lags: np.ndarray
+    baseline: HealthReport
+    freeriders_no_lifting: HealthReport
+    freeriders_with_lifting: HealthReport
+    expelled_with_lifting: int
+    duration: float
+
+    def rows(self) -> Sequence[tuple]:
+        """(lag, baseline, no-lifting, with-lifting) rows for printing."""
+        return [
+            (
+                float(lag),
+                float(self.baseline.fractions[i]),
+                float(self.freeriders_no_lifting.fractions[i]),
+                float(self.freeriders_with_lifting.fractions[i]),
+            )
+            for i, lag in enumerate(self.lags)
+        ]
+
+
+def run_fig1(
+    *,
+    n: int = 150,
+    duration: float = 30.0,
+    seed: int = 7,
+    freerider_fraction: float = 0.25,
+    stream_rate_kbps: float = 674.0,
+    heavy_degree: FreeriderDegree = HEAVY_FREERIDING,
+    wise_degree: FreeriderDegree = WISE_FREERIDING,
+    lags: Optional[Sequence[float]] = None,
+    coverage: float = 0.97,
+) -> Fig1Result:
+    """Run the three deployments and collect their health curves.
+
+    Defaults are scaled down from the paper's 300 nodes / 60 s for
+    tractability on one machine; pass ``n=300, duration=60`` for the
+    full setting.
+    """
+    gossip_base, lifting = planetlab_params()
+    gossip = GossipParams(
+        n=n,
+        fanout=gossip_base.fanout,
+        gossip_period=gossip_base.gossip_period,
+        stream_rate_kbps=stream_rate_kbps,
+        chunk_size=gossip_base.chunk_size,
+        source_fanout=gossip_base.source_fanout,
+        request_size=gossip_base.request_size,
+    )
+    if lags is None:
+        lags = np.arange(0.0, 31.0, 1.0)
+    window = (3.0, max(6.0, duration - 8.0))
+    upload_rate = UPLOAD_HEADROOM * stream_rate_kbps * 125.0
+
+    def run(config: ClusterConfig) -> SimCluster:
+        cluster = SimCluster(config)
+        cluster.run(until=duration)
+        return cluster
+
+    baseline_cluster = run(
+        ClusterConfig(
+            gossip=gossip,
+            lifting=lifting,
+            seed=seed,
+            lifting_enabled=False,
+            upload_rate=upload_rate,
+        )
+    )
+    collapse_cluster = run(
+        ClusterConfig(
+            gossip=gossip,
+            lifting=lifting,
+            seed=seed,
+            lifting_enabled=False,
+            upload_rate=upload_rate,
+            freerider_fraction=freerider_fraction,
+            freerider_degree=heavy_degree,
+        )
+    )
+    lifting_cluster = run(
+        ClusterConfig(
+            gossip=gossip,
+            lifting=lifting,
+            seed=seed,
+            lifting_enabled=True,
+            expulsion_enabled=True,
+            upload_rate=upload_rate,
+            freerider_fraction=freerider_fraction,
+            freerider_degree=wise_degree,
+        )
+    )
+
+    return Fig1Result(
+        lags=np.asarray(lags, dtype=float),
+        baseline=baseline_cluster.health(lags=lags, coverage=coverage, window=window),
+        freeriders_no_lifting=collapse_cluster.health(
+            lags=lags, coverage=coverage, window=window
+        ),
+        freeriders_with_lifting=lifting_cluster.health(
+            lags=lags, coverage=coverage, window=window
+        ),
+        expelled_with_lifting=len(lifting_cluster.controller.expelled_nodes()),
+        duration=duration,
+    )

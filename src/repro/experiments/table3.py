@@ -1,0 +1,81 @@
+"""Table 3 — message overhead of the verifications.
+
+Runs a small deployment, counts the verification messages each node
+sent per gossip period, and compares them with the expected-count model
+of :mod:`repro.analysis.overhead` (confirms ≈ ``p_dcc · f²``, acks ≈
+servers-per-period, responses ≈ confirms).  A second sweep over several
+fanouts checks the ``O(f²)`` scaling claim by fitting the log-log
+slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.overhead import MessageCountModel, expected_message_counts, scaling_exponent
+from repro.config import GossipParams, planetlab_params
+from repro.experiments.cluster import ClusterConfig, SimCluster
+from repro.metrics.overhead import message_counts_per_node_period
+
+
+@dataclass
+class Table3Result:
+    """Measured vs modelled per-node per-period message counts."""
+
+    measured: Dict[str, float]
+    model: MessageCountModel
+    fanout_sweep: List[Tuple[int, float]]
+    confirm_scaling_slope: float
+
+    def row(self, kind: str) -> float:
+        """Measured count for a message kind (0 when absent)."""
+        return self.measured.get(kind, 0.0)
+
+
+def run_table3(
+    *,
+    n: int = 100,
+    duration: float = 12.0,
+    seed: int = 29,
+    p_dcc: float = 1.0,
+    fanout_sweep: Sequence[int] = (4, 6, 8),
+) -> Table3Result:
+    """Measure verification message counts and their fanout scaling."""
+    gossip_base, lifting_base = planetlab_params()
+    gossip = replace(gossip_base, n=n)
+    lifting = replace(lifting_base, p_dcc=p_dcc)
+
+    config = ClusterConfig(gossip=gossip, lifting=lifting, seed=seed)
+    cluster = SimCluster(config)
+    cluster.run(until=duration)
+    # Exclude the cold-start: normalise over the full run but report the
+    # steady-state approximation (duration is long enough to dominate).
+    measured = message_counts_per_node_period(
+        cluster.trace, duration, n, gossip.gossip_period
+    )
+    model = expected_message_counts(
+        gossip.fanout, gossip.request_size, p_dcc, lifting.managers
+    )
+
+    sweep: List[Tuple[int, float]] = []
+    for fanout in fanout_sweep:
+        sweep_gossip = replace(gossip, fanout=fanout)
+        sweep_cluster = SimCluster(
+            ClusterConfig(gossip=sweep_gossip, lifting=lifting, seed=seed)
+        )
+        sweep_cluster.run(until=duration / 2)
+        counts = message_counts_per_node_period(
+            sweep_cluster.trace, duration / 2, n, gossip.gossip_period
+        )
+        sweep.append((fanout, counts.get("Confirm", 0.0)))
+
+    xs = [f for f, _c in sweep if _c > 0]
+    ys = [c for _f, c in sweep if c > 0]
+    slope = scaling_exponent(xs, ys) if len(xs) >= 2 else float("nan")
+    return Table3Result(
+        measured=measured,
+        model=model,
+        fanout_sweep=sweep,
+        confirm_scaling_slope=slope,
+    )

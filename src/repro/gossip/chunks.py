@@ -1,0 +1,150 @@
+"""Stream chunking and the broadcast source.
+
+The source splits the stream into fixed-size chunks identified by a
+monotonically increasing id, and pushes each fresh chunk to
+``source_fanout`` random nodes (one :class:`~repro.gossip.messages.Serve`
+each); dissemination to the remaining ``n - source_fanout`` nodes is the
+gossip protocol's job.  The source does not take part in verification —
+nodes recognise :data:`SOURCE_ID` and skip acks towards it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.config import GossipParams
+from repro.gossip.messages import Serve
+from repro.membership.base import PeerSampler
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, Transport
+from repro.util.validation import require
+
+NodeId = int
+ChunkId = int
+
+SOURCE_ID: NodeId = -1
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One unit of stream content."""
+
+    chunk_id: ChunkId
+    created_at: float
+    size: int
+
+    def __post_init__(self) -> None:
+        require(self.size > 0, "chunk size must be > 0, got %d", self.size)
+
+
+class ChunkStore:
+    """A node's set of owned chunks with reception timestamps.
+
+    The reception times are what the health metric (Figure 1) consumes:
+    a node "views a clear stream at lag L" when almost all chunks arrive
+    within ``L`` seconds of their creation.
+    """
+
+    def __init__(self) -> None:
+        self._received_at: Dict[ChunkId, float] = {}
+        self._sizes: Dict[ChunkId, int] = {}
+        self._created_at: Dict[ChunkId, float] = {}
+
+    def add(self, chunk_id: ChunkId, size: int, received_at: float, created_at: float) -> bool:
+        """Record a chunk; returns False if it was already owned."""
+        if chunk_id in self._received_at:
+            return False
+        self._received_at[chunk_id] = received_at
+        self._sizes[chunk_id] = size
+        self._created_at[chunk_id] = created_at
+        return True
+
+    def __contains__(self, chunk_id: ChunkId) -> bool:
+        return chunk_id in self._received_at
+
+    def __len__(self) -> int:
+        return len(self._received_at)
+
+    def size_of(self, chunk_id: ChunkId) -> int:
+        """Payload size of an owned chunk."""
+        return self._sizes[chunk_id]
+
+    def received_at(self, chunk_id: ChunkId) -> float:
+        """When the chunk arrived."""
+        return self._received_at[chunk_id]
+
+    def delay_of(self, chunk_id: ChunkId) -> float:
+        """Reception lag relative to the chunk's creation time."""
+        return self._received_at[chunk_id] - self._created_at[chunk_id]
+
+    def chunk_ids(self) -> List[ChunkId]:
+        """All owned chunk ids."""
+        return list(self._received_at.keys())
+
+
+class StreamSource:
+    """The broadcast source: emits chunks at the configured bitrate.
+
+    Registered on the network like a node (``node_id == SOURCE_ID``) but
+    follows a pure push schedule instead of the three-phase protocol.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        sampler: PeerSampler,
+        params: GossipParams,
+        *,
+        stop_after: Optional[float] = None,
+    ) -> None:
+        self.node_id = SOURCE_ID
+        self.sim = sim
+        self.network = network
+        self.sampler = sampler
+        self.params = params
+        self.stop_after = stop_after
+        self.chunks: List[Chunk] = []
+        self._next_id = 0
+        self._timer = None
+
+    def start(self, first_at: float = 0.0) -> None:
+        """Begin emitting chunks at ``first_at``."""
+        self._timer = self.sim.call_every(
+            self.params.chunk_interval, self._emit, first_at=first_at
+        )
+
+    def stop(self) -> None:
+        """Stop the stream."""
+        if self._timer is not None:
+            self._timer.stop()
+
+    def _emit(self) -> None:
+        if self.stop_after is not None and self.sim.now >= self.stop_after:
+            self.stop()
+            return
+        chunk = Chunk(self._next_id, created_at=self.sim.now, size=self.params.chunk_size)
+        self._next_id += 1
+        self.chunks.append(chunk)
+        targets = self.sampler.sample(self.node_id, self.params.source_fanout)
+        for target in targets:
+            serve = Serve(
+                proposal_id=-1,
+                chunk_id=chunk.chunk_id,
+                payload_size=chunk.size,
+                origin=SOURCE_ID,
+            )
+            self.network.send(self.node_id, target, serve, Transport.UDP)
+
+    def on_message(self, src: NodeId, message: object) -> None:
+        """The source ignores inbound protocol traffic (acks etc.)."""
+
+    @property
+    def emitted(self) -> int:
+        """Number of chunks emitted so far."""
+        return self._next_id
+
+    def created_at(self, chunk_id: ChunkId) -> float:
+        """Creation time of ``chunk_id``."""
+        return self.chunks[chunk_id].created_at

@@ -1,0 +1,164 @@
+"""Bounded local history — the accountability substrate of LiFTinG.
+
+Every node keeps a trace of the events of the last ``n_h = h / T_g``
+gossip periods (§5):
+
+* the propose events it initiated (partners + chunk ids) — the fanout
+  multiset ``F_h`` audited in §5.3;
+* the nodes that served it chunks — its fanin;
+* the proposals it *received* (needed to answer a-posteriori
+  cross-check polls about other nodes);
+* the verifiers that asked it to *confirm* proposals of some proposer —
+  the raw material of the fanin multiset ``F'_h`` collected from
+  witnesses.
+
+The history is a ring of per-period records; appending is O(1) and the
+memory bound is ``n_h`` records regardless of run length.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.util.multiset import Multiset
+from repro.util.validation import require
+
+NodeId = int
+ChunkId = int
+
+
+@dataclass
+class PeriodRecord:
+    """Everything a node logs about one gossip period."""
+
+    period: int
+    #: the propose event of this period: (partners, chunk ids); None when
+    #: the node had nothing to propose (received no chunk last period).
+    proposal: Optional[Tuple[Tuple[NodeId, ...], Tuple[ChunkId, ...]]] = None
+    #: nodes that served us a chunk during this period (their claimed
+    #: origin, which a man-in-the-middle colluder spoofs).
+    fanin: List[NodeId] = field(default_factory=list)
+    #: proposer -> chunk ids of proposals received during this period.
+    received_proposals: Dict[NodeId, Set[ChunkId]] = field(default_factory=dict)
+    #: proposer -> verifiers that sent us a Confirm about that proposer.
+    confirm_senders: Dict[NodeId, List[NodeId]] = field(default_factory=dict)
+
+
+class LocalHistory:
+    """Ring buffer of :class:`PeriodRecord`, bounded to ``n_h`` periods."""
+
+    def __init__(self, max_periods: int) -> None:
+        require(max_periods >= 1, "max_periods must be >= 1, got %d", max_periods)
+        self.max_periods = max_periods
+        self._records: Deque[PeriodRecord] = deque(maxlen=max_periods)
+        self._current: Optional[PeriodRecord] = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def begin_period(self, period: int) -> None:
+        """Open the record of gossip period ``period``."""
+        record = PeriodRecord(period=period)
+        self._records.append(record)
+        self._current = record
+
+    def _ensure_open(self) -> PeriodRecord:
+        require(self._current is not None, "no open period — call begin_period first")
+        return self._current
+
+    def record_proposal(
+        self, partners: Tuple[NodeId, ...], chunk_ids: Tuple[ChunkId, ...]
+    ) -> None:
+        """Log this period's propose event (one per period)."""
+        self._ensure_open().proposal = (tuple(partners), tuple(chunk_ids))
+
+    def record_fanin(self, server: NodeId) -> None:
+        """Log that ``server`` served us a chunk this period."""
+        self._ensure_open().fanin.append(server)
+
+    def record_received_proposal(self, proposer: NodeId, chunk_ids: Tuple[ChunkId, ...]) -> None:
+        """Log a proposal received from ``proposer``."""
+        record = self._ensure_open()
+        record.received_proposals.setdefault(proposer, set()).update(chunk_ids)
+
+    def record_confirm_sender(self, proposer: NodeId, verifier: NodeId) -> None:
+        """Log that ``verifier`` asked us to confirm a proposal of ``proposer``."""
+        record = self._ensure_open()
+        record.confirm_senders.setdefault(proposer, []).append(verifier)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def records(self, last: Optional[int] = None) -> List[PeriodRecord]:
+        """The most recent ``last`` period records (oldest first)."""
+        records = list(self._records)
+        if last is not None:
+            records = records[-last:]
+        return records
+
+    def fanout_multiset(self, last: Optional[int] = None) -> Multiset:
+        """``F_h`` — partners of our propose events over the window."""
+        fanout: Multiset = Multiset()
+        for record in self.records(last):
+            if record.proposal is not None:
+                for partner in record.proposal[0]:
+                    fanout.add(partner)
+        return fanout
+
+    def fanin_multiset(self, last: Optional[int] = None) -> Multiset:
+        """Nodes that served us over the window (claimed origins)."""
+        fanin: Multiset = Multiset()
+        for record in self.records(last):
+            for server in record.fanin:
+                fanin.add(server)
+        return fanin
+
+    def proposal_count(self, last: Optional[int] = None) -> int:
+        """Number of propose events in the window — §5.3 uses this to
+        check that the node respected the gossip period ``T_g``."""
+        return sum(1 for r in self.records(last) if r.proposal is not None)
+
+    def proposals_snapshot(
+        self, last: Optional[int] = None
+    ) -> Tuple[Tuple[int, Tuple[NodeId, ...], Tuple[ChunkId, ...]], ...]:
+        """The propose events in audit-response form."""
+        out = []
+        for record in self.records(last):
+            if record.proposal is not None:
+                partners, chunk_ids = record.proposal
+                out.append((record.period, partners, chunk_ids))
+        return tuple(out)
+
+    def was_proposed_by(
+        self, proposer: NodeId, chunk_ids: Tuple[ChunkId, ...], *, last: Optional[int] = None
+    ) -> bool:
+        """Did we receive a proposal from ``proposer`` containing all of
+        ``chunk_ids`` within the window?  Witnesses use this to answer
+        confirm requests and a-posteriori polls."""
+        wanted = set(chunk_ids)
+        for record in self.records(last):
+            seen = record.received_proposals.get(proposer)
+            if seen is not None and wanted <= seen:
+                return True
+        return False
+
+    def received_any_proposal_from(self, proposer: NodeId, *, last: Optional[int] = None) -> bool:
+        """Did ``proposer`` send us any proposal within the window?"""
+        return any(proposer in r.received_proposals for r in self.records(last))
+
+    def confirm_senders_about(self, proposer: NodeId, last: Optional[int] = None) -> List[NodeId]:
+        """All verifiers that asked us about ``proposer`` in the window."""
+        out: List[NodeId] = []
+        for record in self.records(last):
+            out.extend(record.confirm_senders.get(proposer, ()))
+        return out
+
+    @property
+    def current_period(self) -> Optional[int]:
+        """Index of the open period (None before the first)."""
+        return self._current.period if self._current is not None else None
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,57 @@
+"""Wire messages — re-exported from :mod:`repro.wire`.
+
+The message dataclasses live in a top-level module to avoid a circular
+import between the protocol node (which uses :mod:`repro.core`) and the
+verification engine (which builds messages); this shim preserves the
+natural ``repro.gossip.messages`` import path.
+"""
+
+from repro.wire import (
+    Ack,
+    AuditRequest,
+    AuditResponse,
+    Blame,
+    CHUNK_ID_BYTES,
+    Confirm,
+    ConfirmResponse,
+    ExpelVote,
+    HistoryPollRequest,
+    HistoryPollResponse,
+    NODE_ID_BYTES,
+    PERIOD_BYTES,
+    PROPOSAL_ID_BYTES,
+    Propose,
+    Request,
+    ScoreQuery,
+    ScoreReply,
+    Serve,
+    TCP_HEADER,
+    TYPE_TAG,
+    UDP_HEADER,
+    VALUE_BYTES,
+)
+
+__all__ = [
+    "Ack",
+    "AuditRequest",
+    "AuditResponse",
+    "Blame",
+    "CHUNK_ID_BYTES",
+    "Confirm",
+    "ConfirmResponse",
+    "ExpelVote",
+    "HistoryPollRequest",
+    "HistoryPollResponse",
+    "NODE_ID_BYTES",
+    "PERIOD_BYTES",
+    "PROPOSAL_ID_BYTES",
+    "Propose",
+    "Request",
+    "ScoreQuery",
+    "ScoreReply",
+    "Serve",
+    "TCP_HEADER",
+    "TYPE_TAG",
+    "UDP_HEADER",
+    "VALUE_BYTES",
+]

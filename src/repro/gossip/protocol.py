@@ -1,0 +1,564 @@
+"""The three-phase gossip protocol node, with LiFTinG attached.
+
+One :class:`GossipNode` implements §3's propose / request / serve cycle
+and hosts the LiFTinG components: the verification engine (§5.2), a
+reputation manager for the nodes it manages (§5.1), and an auditor
+(§5.3).  Every decision an attacker could subvert is delegated to the
+node's :class:`~repro.nodes.behavior.Behavior`.
+
+The node is transport-agnostic: it talks to the world through a small
+``transport`` facade (``send``, ``call_later``, ``clock``) which the
+discrete-event simulator and the asyncio runtime both provide.  Under
+the simulator the facade is :class:`SimTransport` below.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.config import GossipParams, LiftingParams
+from repro.core.audit import Auditor, AuditResult
+from repro.core.reputation import ManagerAssignment, ReputationManager, ScoreReader
+from repro.core.verification import VerificationEngine
+from repro.gossip.chunks import SOURCE_ID, ChunkStore
+from repro.gossip.history import LocalHistory
+from repro.gossip.messages import (
+    Ack,
+    AuditRequest,
+    AuditResponse,
+    Blame,
+    Confirm,
+    ConfirmResponse,
+    ExpelVote,
+    HistoryPollRequest,
+    HistoryPollResponse,
+    Propose,
+    Request,
+    ScoreQuery,
+    ScoreReply,
+    Serve,
+)
+from repro.nodes.behavior import Behavior
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, Transport
+from repro.util.validation import require
+
+NodeId = int
+ChunkId = int
+
+
+class SimTransport:
+    """Binds a node to the discrete-event simulator and network.
+
+    The transport facade (``clock`` / ``call_later`` / ``call_every`` /
+    ``send``) is everything a protocol node needs from its environment;
+    :class:`repro.runtime.transport.AsyncTransport` provides the same
+    facade over real sockets and the asyncio event loop.
+    """
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+
+    def clock(self) -> float:
+        return self.sim.now
+
+    def call_later(self, delay: float, callback: Callable[[], None]):
+        return self.sim.call_later(delay, callback)
+
+    def call_every(self, interval: float, callback, *, first_delay: float, jitter=None):
+        return self.sim.call_every(
+            interval, callback, first_at=self.sim.now + first_delay, jitter=jitter
+        )
+
+    def send(self, src: NodeId, dst: NodeId, message: object, reliable: bool) -> bool:
+        transport = Transport.TCP if reliable else Transport.UDP
+        return self.network.send(src, dst, message, transport)
+
+
+@dataclass
+class _SentProposal:
+    """Bookkeeping for a proposal we emitted (to validate requests)."""
+
+    partners: Set[NodeId]
+    chunk_ids: Set[ChunkId]
+    at: float
+
+
+@dataclass
+class NodeStats:
+    """Per-node counters the metrics layer reads."""
+
+    chunks_received: int = 0
+    duplicate_serves: int = 0
+    proposals_sent: int = 0
+    proposals_received: int = 0
+    requests_received: int = 0
+    chunks_served: int = 0
+    blames_emitted: float = 0.0
+    blame_messages: int = 0
+
+
+class GossipNode:
+    """A protocol participant (honest or not — the behaviour decides)."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        transport,
+        sampler,
+        gossip: GossipParams,
+        lifting: LiftingParams,
+        behavior: Behavior,
+        assignment: Optional[ManagerAssignment] = None,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        lifting_enabled: bool = True,
+        compensation: Optional[float] = None,
+        chunk_created_at: Optional[Callable[[ChunkId], float]] = None,
+        on_expel_quorum: Optional[Callable[[NodeId, str], None]] = None,
+        start_time: float = 0.0,
+        p_audit: float = 0.0,
+    ) -> None:
+        require(node_id >= 0, "node ids must be non-negative (SOURCE_ID=-1 is reserved)")
+        self.node_id = node_id
+        self.transport = transport
+        self.sampler = sampler
+        self.gossip = gossip
+        self.lifting = lifting
+        self.behavior = behavior
+        self.assignment = assignment
+        self.rng = rng if rng is not None else np.random.default_rng(node_id)
+        self.lifting_enabled = lifting_enabled
+        self.chunk_created_at = chunk_created_at
+        self.on_expel_quorum = on_expel_quorum
+
+        self.store = ChunkStore()
+        self.history = LocalHistory(max_periods=lifting.history_periods + 2)
+        self.stats = NodeStats()
+        self.period = 0
+        self._fresh: Dict[ChunkId, NodeId] = {}
+        self._pending_chunks: Set[ChunkId] = set()
+        self._sent_proposals: Dict[int, _SentProposal] = {}
+        self._proposal_counter = 0
+        self._timer = None
+        # chunk -> alternative proposers (for re-requesting lost serves).
+        self._offers: Dict[ChunkId, List[Tuple[NodeId, int, float]]] = {}
+        # pending requests tracked by the node itself when no verification
+        # engine runs (the baseline protocol also retries lost serves).
+        self._naked_requests: Dict[int, Tuple[NodeId, Set[ChunkId]]] = {}
+        # blames are batched per target and flushed once per period.
+        self._blame_outbox: Dict[NodeId, float] = defaultdict(float)
+
+        self.engine = VerificationEngine(self) if lifting_enabled else None
+        self.auditor = Auditor(self) if lifting_enabled else None
+        self.score_reader = (
+            ScoreReader(self) if lifting_enabled and assignment is not None else None
+        )
+        self.manager: Optional[ReputationManager] = None
+        if lifting_enabled and assignment is not None:
+            self.manager = ReputationManager(
+                owner=node_id,
+                assignment=assignment,
+                gossip=gossip,
+                lifting=lifting,
+                now=self.clock,
+                compensation=compensation,
+                start_time=start_time,
+            )
+        self.audit_scheduler = None
+        if lifting_enabled and p_audit > 0.0:
+            from repro.core.audit import AuditScheduler
+
+            self.audit_scheduler = AuditScheduler(self, p_audit=p_audit)
+        behavior.bind(self)
+
+    # ------------------------------------------------------------------
+    # transport facade used by the engine / auditor
+    # ------------------------------------------------------------------
+    def clock(self) -> float:
+        """Current time."""
+        return self.transport.clock()
+
+    def call_later(self, delay: float, callback: Callable[[], None]):
+        """Schedule ``callback`` after ``delay`` seconds."""
+        return self.transport.call_later(delay, callback)
+
+    def random(self) -> float:
+        """One uniform [0, 1) draw from the node's stream."""
+        return float(self.rng.random())
+
+    def send(self, dst: NodeId, message: object, reliable: bool = False) -> bool:
+        """Send ``message`` to ``dst`` (TCP when ``reliable``)."""
+        return self.transport.send(self.node_id, dst, message, reliable)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the periodic gossip loop, desynchronised across nodes."""
+        offset = float(self.rng.uniform(0.0, self.gossip.gossip_period))
+        jitter_scale = 0.02 * self.gossip.gossip_period
+
+        def jitter() -> float:
+            return float(self.rng.uniform(-jitter_scale, jitter_scale))
+
+        self._timer = self.transport.call_every(
+            self.gossip.gossip_period,
+            self._on_period,
+            first_delay=offset,
+            jitter=jitter,
+        )
+
+    def stop(self) -> None:
+        """Stop the periodic loop (node leaves / experiment teardown)."""
+        if self._timer is not None:
+            self._timer.stop()
+
+    # ------------------------------------------------------------------
+    # the gossip period
+    # ------------------------------------------------------------------
+    def _on_period(self) -> None:
+        self.period += 1
+        self.history.begin_period(self.period)
+        if self.engine is not None:
+            self.engine.on_period_tick()
+        self._flush_blames()
+        self._prune_offers()
+        self._run_manager_duties()
+        if self.audit_scheduler is not None:
+            self.audit_scheduler.on_period_tick()
+        if self.period % self.behavior.period_stride() != 0:
+            return
+        self._propose_phase()
+
+    def _prune_offers(self) -> None:
+        horizon = self.clock() - 2 * self.gossip.gossip_period
+        stale = [c for c, offers in self._offers.items() if not offers or offers[-1][2] < horizon]
+        for chunk_id in stale:
+            del self._offers[chunk_id]
+
+    def _propose_phase(self) -> None:
+        fresh, self._fresh = self._fresh, {}
+        if not fresh:
+            return
+        by_server: Dict[NodeId, List[ChunkId]] = defaultdict(list)
+        for chunk_id, server in fresh.items():
+            by_server[server].append(chunk_id)
+        filtered = self.behavior.propose_filter(dict(by_server))
+        chunk_ids: Tuple[ChunkId, ...] = tuple(
+            sorted(c for ids in filtered.values() for c in ids)
+        )
+        partners = self.behavior.select_partners(self.gossip.fanout)
+        if not partners or not chunk_ids:
+            return
+
+        self._proposal_counter += 1
+        proposal_id = (self.node_id << 20) | (self._proposal_counter & 0xFFFFF)
+        propose = Propose(proposal_id=proposal_id, chunk_ids=chunk_ids)
+        for partner in partners:
+            self.send(partner, propose)
+        self.stats.proposals_sent += 1
+        self.history.record_proposal(tuple(partners), chunk_ids)
+        self._sent_proposals[proposal_id] = _SentProposal(
+            partners=set(partners), chunk_ids=set(chunk_ids), at=self.clock()
+        )
+        self._expire_old_proposals()
+
+        if self.lifting_enabled:
+            reported = self.behavior.ack_partners(tuple(partners))
+            for server, ids in filtered.items():
+                if server == SOURCE_ID or server == self.node_id:
+                    continue
+                self.send(server, Ack(chunk_ids=tuple(sorted(ids)), partners=reported))
+
+    def _expire_old_proposals(self) -> None:
+        """Drop proposal bookkeeping older than a few periods."""
+        horizon = self.clock() - 4 * self.gossip.gossip_period
+        stale = [pid for pid, rec in self._sent_proposals.items() if rec.at < horizon]
+        for pid in stale:
+            del self._sent_proposals[pid]
+
+    def _run_manager_duties(self) -> None:
+        if self.manager is None:
+            return
+        for target in self.manager.expulsion_candidates():
+            self._broadcast_expel_vote(target)
+            # Count our own vote towards the quorum.
+            if self.manager.on_expel_vote(self.node_id, target):
+                self._expel_quorum_reached(target)
+
+    def _broadcast_expel_vote(self, target: NodeId) -> None:
+        vote = ExpelVote(target=target)
+        for manager_id in self.assignment.managers_of(target):
+            if manager_id != self.node_id:
+                self.send(manager_id, vote)
+
+    def _expel_quorum_reached(self, target: NodeId) -> None:
+        if self.on_expel_quorum is not None:
+            self.on_expel_quorum(self.node_id, target, "score")
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, src: NodeId, message: object) -> None:
+        """Network entry point."""
+        if isinstance(message, Propose):
+            self._on_propose(src, message)
+        elif isinstance(message, Request):
+            self._on_request(src, message)
+        elif isinstance(message, Serve):
+            self._on_serve(src, message)
+        elif isinstance(message, Ack):
+            if self.engine is not None:
+                self.engine.on_ack(src, message)
+        elif isinstance(message, Confirm):
+            self._on_confirm(src, message)
+        elif isinstance(message, ConfirmResponse):
+            if self.engine is not None:
+                self.engine.on_confirm_response(src, message)
+        elif isinstance(message, Blame):
+            if self.manager is not None:
+                self.manager.on_blame(message.target, message.value)
+        elif isinstance(message, ExpelVote):
+            self._on_expel_vote(src, message)
+        elif isinstance(message, ScoreQuery):
+            self._on_score_query(src, message)
+        elif isinstance(message, ScoreReply):
+            if self.score_reader is not None:
+                self.score_reader.on_reply(src, message.target, message.score, message.known)
+        elif isinstance(message, AuditRequest):
+            self._on_audit_request(src, message)
+        elif isinstance(message, AuditResponse):
+            if self.auditor is not None:
+                self.auditor.on_audit_response(src, message)
+        elif isinstance(message, HistoryPollRequest):
+            self._on_history_poll(src, message)
+        elif isinstance(message, HistoryPollResponse):
+            if self.auditor is not None:
+                self.auditor.on_poll_response(src, message)
+
+    # ------------------------------------------------------------------
+    # three phases (§3)
+    # ------------------------------------------------------------------
+    def _on_propose(self, src: NodeId, message: Propose) -> None:
+        self.stats.proposals_received += 1
+        if self.history.current_period is not None:
+            self.history.record_received_proposal(src, message.chunk_ids)
+        now = self.clock()
+        needed = []
+        for chunk_id in message.chunk_ids:
+            if chunk_id in self.store:
+                continue
+            # Remember alternative sources for chunks we do not request
+            # now — a lost serve is re-requested from one of them.
+            self._offers.setdefault(chunk_id, []).append(
+                (src, message.proposal_id, now)
+            )
+            if chunk_id not in self._pending_chunks:
+                needed.append(chunk_id)
+        if not needed:
+            return
+        needed = tuple(needed)
+        self._send_request(src, message.proposal_id, needed)
+
+    def _send_request(
+        self, proposer: NodeId, proposal_id: int, chunk_ids: Tuple[ChunkId, ...]
+    ) -> None:
+        self.send(proposer, Request(proposal_id=proposal_id, chunk_ids=chunk_ids))
+        self._pending_chunks.update(chunk_ids)
+        if self.engine is not None:
+            self.engine.on_request_sent(proposer, proposal_id, chunk_ids)
+        else:
+            # Baseline protocol (LiFTinG off): still watch the request so
+            # lost serves get retried from an alternative proposer.
+            self._naked_requests[proposal_id] = (proposer, set(chunk_ids))
+            self.call_later(
+                self.lifting.serve_timeout,
+                lambda: self._check_naked_request(proposal_id),
+            )
+
+    def _check_naked_request(self, proposal_id: int) -> None:
+        entry = self._naked_requests.pop(proposal_id, None)
+        if entry is None:
+            return
+        proposer, chunk_ids = entry
+        missing = {c for c in chunk_ids if c not in self.store}
+        if missing:
+            self.on_request_expired(proposer, missing)
+
+    def _on_request(self, src: NodeId, message: Request) -> None:
+        record = self._sent_proposals.get(message.proposal_id)
+        if record is None or src not in record.partners:
+            return  # §4.2: requests not matching a proposal are ignored
+        self.stats.requests_received += 1
+        valid = [
+            c for c in message.chunk_ids if c in record.chunk_ids and c in self.store
+        ]
+        to_serve = self.behavior.serve_filter(valid)
+        origin = self.behavior.serve_origin()
+        for chunk_id in to_serve:
+            serve = Serve(
+                proposal_id=message.proposal_id,
+                chunk_id=chunk_id,
+                payload_size=self.store.size_of(chunk_id),
+                origin=origin,
+            )
+            self.send(src, serve)
+            self.stats.chunks_served += 1
+            if self.engine is not None and origin == self.node_id:
+                # A MITM colluder points the ack at the spoofed origin,
+                # so it cannot (and does not) expect one itself.
+                self.engine.on_serve_sent(src, chunk_id)
+
+    def _on_serve(self, src: NodeId, message: Serve) -> None:
+        if self.engine is not None:
+            self.engine.on_serve_received(message.proposal_id, message.chunk_id)
+        created_at = (
+            self.chunk_created_at(message.chunk_id)
+            if self.chunk_created_at is not None
+            else self.clock()
+        )
+        fresh = self.store.add(
+            message.chunk_id, message.payload_size, received_at=self.clock(), created_at=created_at
+        )
+        self._pending_chunks.discard(message.chunk_id)
+        if not fresh:
+            self.stats.duplicate_serves += 1
+            return
+        self.stats.chunks_received += 1
+        origin = message.origin
+        self._fresh[message.chunk_id] = origin
+        if self.history.current_period is not None and origin != SOURCE_ID:
+            self.history.record_fanin(origin)
+
+    # ------------------------------------------------------------------
+    # LiFTinG message handlers
+    # ------------------------------------------------------------------
+    def _on_confirm(self, src: NodeId, message: Confirm) -> None:
+        if self.history.current_period is not None:
+            self.history.record_confirm_sender(message.proposer, src)
+        # Defer the answer: the confirm races the propose it asks about
+        # (verifier is only an ack + confirm hop behind the proposer), so
+        # the testimony is evaluated after a grace delay.
+        delay = self.lifting.witness_answer_delay
+        if delay > 0:
+            self.call_later(delay, lambda: self._answer_confirm(src, message))
+        else:
+            self._answer_confirm(src, message)
+
+    def _answer_confirm(self, src: NodeId, message: Confirm) -> None:
+        truthful = self.history.was_proposed_by(
+            message.proposer, message.chunk_ids, last=3
+        )
+        valid = self.behavior.witness_valid(message.proposer, truthful)
+        self.send(src, ConfirmResponse(proposer=message.proposer, valid=valid))
+
+    def _on_expel_vote(self, src: NodeId, message: ExpelVote) -> None:
+        if self.manager is None:
+            return
+        if self.manager.on_expel_vote(src, message.target):
+            self._expel_quorum_reached(message.target)
+
+    def _on_score_query(self, src: NodeId, message: ScoreQuery) -> None:
+        if self.manager is None:
+            return
+        score = self.manager.normalized_score(message.target)
+        reply = ScoreReply(
+            target=message.target,
+            score=score if score is not None else 0.0,
+            known=score is not None,
+        )
+        self.send(src, reply)
+
+    def _on_audit_request(self, src: NodeId, message: AuditRequest) -> None:
+        snapshot = self.history.proposals_snapshot(last=message.periods)
+        snapshot = self.behavior.history_snapshot(snapshot)
+        self.send(src, AuditResponse(proposals=snapshot), reliable=True)
+
+    def _on_history_poll(self, src: NodeId, message: HistoryPollRequest) -> None:
+        truthful_ack = self.history.was_proposed_by(message.target, message.chunk_ids)
+        acknowledged = self.behavior.poll_acknowledge(message.target, truthful_ack)
+        senders = self.history.confirm_senders_about(message.target)
+        senders = self.behavior.poll_confirm_senders(message.target, senders)
+        response = HistoryPollResponse(
+            target=message.target,
+            period=message.period,
+            acknowledged=acknowledged,
+            confirm_senders=tuple(senders),
+        )
+        self.send(src, response, reliable=True)
+
+    # ------------------------------------------------------------------
+    # callbacks used by the engine / auditor
+    # ------------------------------------------------------------------
+    def send_blame(self, target: NodeId, value: float, reason: str) -> None:
+        """Queue a blame; the outbox fans it to the managers each period.
+
+        Batching all blames of a period into one message per target
+        keeps the reputation traffic at O(targets · M) instead of
+        O(blame events · M) — blame values are summable by design (§5).
+        """
+        if target in (self.node_id, SOURCE_ID) or self.assignment is None:
+            return
+        if value > 0 and not self.behavior.should_blame(target):
+            return
+        self.stats.blames_emitted += max(value, 0.0)
+        self._blame_outbox[target] += value
+
+    def _flush_blames(self) -> None:
+        if not self._blame_outbox:
+            return
+        outbox, self._blame_outbox = self._blame_outbox, defaultdict(float)
+        for target, value in outbox.items():
+            if value == 0.0:
+                continue
+            blame = Blame(target=target, value=value, reason="period-batch")
+            for manager_id in self.assignment.managers_of(target):
+                if manager_id == self.node_id:
+                    if self.manager is not None:
+                        self.manager.on_blame(target, value)
+                else:
+                    self.send(manager_id, blame)
+                    self.stats.blame_messages += 1
+
+    def on_request_expired(self, proposer: NodeId, chunk_ids: Set[ChunkId]) -> None:
+        """A request (partially) timed out: retry elsewhere or release.
+
+        The serve or the request itself may have been lost; the node
+        re-requests each missing chunk from an alternative proposer that
+        recently advertised it, falling back to releasing the pending
+        mark so future proposals can pick it up.
+        """
+        retry: Dict[Tuple[NodeId, int], List[ChunkId]] = defaultdict(list)
+        for chunk_id in chunk_ids:
+            if chunk_id in self.store:
+                continue
+            network = getattr(self.transport, "network", None)
+            alternative = None
+            for src, pid, _at in reversed(self._offers.get(chunk_id, ())):
+                if src != proposer and (network is None or network.is_connected(src)):
+                    alternative = (src, pid)
+                    break
+            if alternative is not None:
+                retry[alternative].append(chunk_id)
+            else:
+                self._pending_chunks.discard(chunk_id)
+        for (src, pid), ids in retry.items():
+            self._send_request(src, pid, tuple(ids))
+
+    def on_audit_verdict(self, target: NodeId, result: AuditResult) -> None:
+        """An audit we ran completed; escalate entropy failures."""
+        if not result.passed and self.on_expel_quorum is not None:
+            self.on_expel_quorum(self.node_id, target, "audit")
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GossipNode(id={self.node_id}, behavior={self.behavior.name}, "
+            f"chunks={len(self.store)})"
+        )

@@ -1,0 +1,39 @@
+"""Vectorised Monte-Carlo engine for the paper's §6 simulations.
+
+The analysis figures (10–13) are statements about a 10,000-node system
+— far beyond what a packet-level pure-Python simulation can sweep.  The
+paper's own "extensive simulations" are Monte-Carlo draws of the blame
+and entropy models, and that is what this package implements, vectorised
+with numpy:
+
+* :mod:`repro.mc.blame_model` — samples per-period blames following the
+  exact event structure of the verifications (losses on proposals,
+  requests, serves, acks, confirms), for honest nodes and freeriders of
+  arbitrary degree ``Δ``; its expectations provably equal Eq. (2)/(3)/
+  (5) and ``b̃'(Δ)``, which the property tests check.
+* :mod:`repro.mc.entropy` — samples history entropies (fanout and
+  fanin) under uniform or coalition-biased partner selection
+  (Figure 13, §6.3.2).
+"""
+
+from repro.mc.blame_model import (
+    BlameModel,
+    ScoreSample,
+    simulate_scores,
+)
+from repro.mc.entropy import (
+    biased_fanout_entropies,
+    row_entropies,
+    sample_fanin_entropies,
+    sample_fanout_entropies,
+)
+
+__all__ = [
+    "BlameModel",
+    "ScoreSample",
+    "biased_fanout_entropies",
+    "row_entropies",
+    "sample_fanin_entropies",
+    "sample_fanout_entropies",
+    "simulate_scores",
+]

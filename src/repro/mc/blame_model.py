@@ -1,0 +1,228 @@
+"""Monte-Carlo sampling of per-period blames (§6.2, §6.3.1).
+
+The sampler mirrors the verification event structure, per node and per
+gossip period:
+
+**Direct verification** (the node as proposer, ``f̂ = (1-δ1)f``
+partners): for each partner the proposal arrives w.p. ``p_r``; the
+request arrives w.p. ``p_r``; a lost request costs blame ``f``; with
+both delivered, each of the ``|R|`` chunks reaches the requester only
+w.p. ``(1-δ3)·p_r`` and each miss costs ``f/|R|``.
+
+**Direct cross-checking** (the node as inspected, ``f`` verifiers):
+a verifier whose chunks were dropped from the proposal (prob ``δ2``)
+blames ``f``.  Otherwise, given the interaction happened (``p_r²``),
+the verifier blames ``f`` when a served chunk or the ack was lost
+(``1 - p_r^{|R|+1}``); else each of its ``f`` witness slots draws
+blame 1 when the witness is missing (prob ``δ1``, fanout decrease, no
+confirm needed) or when the confirm round fails
+(``(1-δ1)·p_dcc·(1-p_r³)``).
+
+Summing expectations recovers the paper's closed forms exactly — the
+test suite asserts it — and the *distribution* gives ``σ(b)`` (deferred
+to a tech report in the paper; measured as 25.6 in Figure 10) and the
+full score CDFs of Figures 10–12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.freerider_blames import expected_blame_freerider
+from repro.analysis.wrongful_blames import expected_blame_honest
+from repro.config import FreeriderDegree, HONEST_DEGREE
+from repro.util.validation import require, require_probability
+
+
+@dataclass(frozen=True)
+class BlameModel:
+    """The parameters the blame distribution depends on."""
+
+    fanout: int
+    request_size: int
+    p_reception: float
+    p_dcc: float = 1.0
+
+    def __post_init__(self) -> None:
+        require(self.fanout >= 1, "fanout must be >= 1")
+        require(self.request_size >= 1, "request_size must be >= 1")
+        require_probability(self.p_reception, "p_reception")
+        require_probability(self.p_dcc, "p_dcc")
+
+    # ------------------------------------------------------------------
+    def expected_blame(self, degree: FreeriderDegree = HONEST_DEGREE) -> float:
+        """Closed-form per-period expectation (Eq. 5 / ``b̃'(Δ)``)."""
+        return expected_blame_freerider(
+            degree, self.fanout, self.request_size, self.p_reception, self.p_dcc
+        )
+
+    @property
+    def compensation(self) -> float:
+        """``b̃`` — the honest expectation used for compensation."""
+        return expected_blame_honest(
+            self.fanout, self.request_size, self.p_reception, self.p_dcc
+        )
+
+    # ------------------------------------------------------------------
+    def sample_period_blames(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        degree: FreeriderDegree = HONEST_DEGREE,
+    ) -> np.ndarray:
+        """Per-period blame totals for ``count`` i.i.d. nodes."""
+        require(count >= 1, "count must be >= 1, got %d", count)
+        f = self.fanout
+        big_r = self.request_size
+        p_r = self.p_reception
+        d1, d2, d3 = degree.as_tuple()
+        blame = np.zeros(count)
+
+        # --- direct verification (as proposer) -------------------------
+        # Each of the f potential partner slots is contacted w.p. (1-δ1)
+        # — the analysis treats δ1 as a continuous contact rate, so the
+        # sampler does too (the packet simulator rounds to f̂ instead).
+        p_contacted_and_proposed = (1.0 - d1) * p_r
+        if p_contacted_and_proposed > 0:
+            n_prop = rng.binomial(f, p_contacted_and_proposed, size=count)
+            n_req = rng.binomial(n_prop, p_r)
+            blame += f * (n_prop - n_req)
+            p_chunk_miss = 1.0 - p_r * (1.0 - d3)
+            missing_chunks = rng.binomial(n_req * big_r, p_chunk_miss)
+            blame += (f / big_r) * missing_chunks
+
+        # --- direct cross-checking (as inspected) ----------------------
+        n_dropped = rng.binomial(f, d2, size=count)
+        blame += f * n_dropped
+        n_interact = rng.binomial(f - n_dropped, p_r**2)
+        p_invalid = 1.0 - p_r ** (big_r + 1)
+        n_invalid = rng.binomial(n_interact, p_invalid)
+        blame += f * n_invalid
+        intact = n_interact - n_invalid
+
+        # Witness term.  The partner list and the propose messages to the
+        # witnesses are SHARED across all verifiers of the period (there
+        # is one propose event), so those failure modes are sampled once
+        # per node and multiply the verifier count — this correlation
+        # raises the variance without changing the mean (the paper's
+        # formulas are expectations and cannot distinguish the two).
+        w_present = rng.binomial(f, 1.0 - d1, size=count)  # partners listed
+        w_delivered = rng.binomial(w_present, p_r)  # proposes that arrived
+        # Fanout decrease is visible from the ack alone: every intact
+        # verifier blames f - f̂ without needing a confirm round.
+        blame += intact * (f - w_present)
+        # Verifiers that actually run the confirm round:
+        runs = rng.binomial(intact, self.p_dcc)
+        # ...each blames 1 per witness whose propose was lost (shared)...
+        blame += runs * (w_present - w_delivered)
+        # ...and 1 per witness whose confirm or response was lost
+        # (independent per verifier-witness pair).
+        blame += rng.binomial(runs * w_delivered, 1.0 - p_r**2)
+        return blame
+
+    def sample_sigma(
+        self,
+        rng: np.random.Generator,
+        samples: int = 200_000,
+        degree: FreeriderDegree = HONEST_DEGREE,
+    ) -> float:
+        """Monte-Carlo estimate of the per-period blame stddev ``σ(b)``."""
+        draws = self.sample_period_blames(rng, samples, degree)
+        return float(np.std(draws, ddof=1))
+
+
+@dataclass(frozen=True)
+class ScoreSample:
+    """Normalised scores of the two populations after ``rounds`` periods."""
+
+    honest: np.ndarray
+    freeriders: np.ndarray
+    rounds: int
+    compensation: float
+
+    def detection_fraction(self, eta: float) -> float:
+        """Fraction of freerider scores below the threshold (α)."""
+        if self.freeriders.size == 0:
+            return 0.0
+        return float(np.mean(self.freeriders < eta))
+
+    def false_positive_fraction(self, eta: float) -> float:
+        """Fraction of honest scores below the threshold (β)."""
+        if self.honest.size == 0:
+            return 0.0
+        return float(np.mean(self.honest < eta))
+
+
+def simulate_scores(
+    model: BlameModel,
+    rng: np.random.Generator,
+    *,
+    n_honest: int,
+    n_freeriders: int = 0,
+    degree: FreeriderDegree = HONEST_DEGREE,
+    rounds: int = 50,
+    compensation: Optional[float] = None,
+) -> ScoreSample:
+    """Simulate ``rounds`` gossip periods of blame accumulation.
+
+    Returns normalised scores ``s = -(1/r) Σ (b_i - b̃)`` (Eq. 6) for
+    both populations.  ``compensation`` defaults to the closed-form
+    ``b̃``; pass 0.0 to ablate compensation.
+    """
+    require(rounds >= 1, "rounds must be >= 1, got %d", rounds)
+    require(n_honest >= 0 and n_freeriders >= 0, "populations must be >= 0")
+    b_tilde = model.compensation if compensation is None else compensation
+
+    honest_total = np.zeros(n_honest)
+    freerider_total = np.zeros(n_freeriders)
+    for _round in range(rounds):
+        if n_honest:
+            honest_total += model.sample_period_blames(rng, n_honest)
+        if n_freeriders:
+            freerider_total += model.sample_period_blames(rng, n_freeriders, degree)
+
+    honest_scores = b_tilde - honest_total / rounds if n_honest else np.empty(0)
+    freerider_scores = (
+        b_tilde - freerider_total / rounds if n_freeriders else np.empty(0)
+    )
+    return ScoreSample(
+        honest=honest_scores,
+        freeriders=freerider_scores,
+        rounds=rounds,
+        compensation=b_tilde,
+    )
+
+
+def detection_sweep(
+    model: BlameModel,
+    rng: np.random.Generator,
+    deltas,
+    *,
+    eta: float,
+    rounds: int = 50,
+    n_freeriders: int = 2_000,
+    n_honest: int = 2_000,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Figure 12's sweep: ``(α, β, gain)`` for each uniform ``δ``.
+
+    ``δ1 = δ2 = δ3 = δ``; gain is the saved upload bandwidth
+    ``1 - (1-δ)³``.
+    """
+    alphas, betas, gains = [], [], []
+    for delta in deltas:
+        degree = FreeriderDegree.uniform(float(delta))
+        sample = simulate_scores(
+            model,
+            rng,
+            n_honest=n_honest,
+            n_freeriders=n_freeriders,
+            degree=degree,
+            rounds=rounds,
+        )
+        alphas.append(sample.detection_fraction(eta))
+        betas.append(sample.false_positive_fraction(eta))
+        gains.append(degree.bandwidth_gain)
+    return np.asarray(alphas), np.asarray(betas), np.asarray(gains)

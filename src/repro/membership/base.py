@@ -1,0 +1,37 @@
+"""The peer-sampling interface the gossip layer programs against."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+NodeId = int
+
+
+class PeerSampler(abc.ABC):
+    """Supplies random communication partners to protocol nodes.
+
+    The gossip node calls :meth:`sample` once per gossip period to get
+    its ``f`` propose partners.  Samples must never contain the caller
+    itself, must be duplicate-free, and must exclude expelled nodes.
+    """
+
+    @abc.abstractmethod
+    def sample(self, caller: NodeId, count: int) -> List[NodeId]:
+        """Up to ``count`` distinct partners for ``caller``.
+
+        Fewer than ``count`` may be returned when the (known) population
+        is too small.
+        """
+
+    @abc.abstractmethod
+    def remove(self, node: NodeId) -> None:
+        """Stop handing out ``node`` (it left or was expelled)."""
+
+    @abc.abstractmethod
+    def alive_nodes(self) -> Sequence[NodeId]:
+        """The nodes currently eligible for sampling."""
+
+    def contains(self, node: NodeId) -> bool:
+        """Whether ``node`` is currently eligible."""
+        return node in set(self.alive_nodes())

@@ -1,0 +1,20 @@
+"""Node behaviour policies.
+
+The protocol node (:class:`repro.gossip.protocol.GossipNode`) delegates
+every decision a freerider could subvert to a :class:`Behavior` object:
+partner selection, proposal content, serve content, ack content, witness
+testimony, audit answers.  Honest nodes use the defaults; the attack
+classes of §4 are implemented as overrides:
+
+* :class:`FreeriderBehavior` — the wise freerider of §6.3.1, degree
+  ``Δ = (δ1, δ2, δ3)`` plus the gossip-period-stretching attack.
+* :class:`ColludingBehavior` — adds biased partner selection towards
+  the coalition, cover-ups (never blame / always confirm colluders) and
+  optionally the man-in-the-middle attack of Figure 8b.
+"""
+
+from repro.nodes.behavior import Behavior, HonestBehavior
+from repro.nodes.colluder import ColludingBehavior
+from repro.nodes.freerider import FreeriderBehavior
+
+__all__ = ["Behavior", "ColludingBehavior", "FreeriderBehavior", "HonestBehavior"]

@@ -1,0 +1,247 @@
+"""Socket transport for the asyncio runtime.
+
+Each node owns one UDP datagram endpoint (unreliable path) and one TCP
+server (reliable path, used by audits).  Messages are serialised with
+:mod:`pickle` framed by a 4-byte length prefix on TCP and sent as single
+datagrams on UDP.  Pickle is acceptable here because the runtime is a
+single-operator deployment tool (all endpoints are ours); a hostile
+deployment would swap in a schema codec — the message dataclasses are
+flat tuples of ints/bools, so that swap is mechanical.
+
+The :class:`NodeRegistry` is the bootstrap directory mapping node ids to
+socket addresses; it also implements expulsion (an expelled node's
+address is removed, so peers can no longer reach it and its own sends
+are refused).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.util.validation import require
+
+NodeId = int
+Address = Tuple[str, int]
+
+_LENGTH = struct.Struct("!I")
+
+
+class NodeRegistry:
+    """Directory of node addresses with expulsion support."""
+
+    def __init__(self) -> None:
+        self._udp: Dict[NodeId, Address] = {}
+        self._tcp: Dict[NodeId, Address] = {}
+        self._expelled: set = set()
+
+    def register(self, node_id: NodeId, udp: Address, tcp: Address) -> None:
+        """Publish a node's endpoints."""
+        self._udp[node_id] = udp
+        self._tcp[node_id] = tcp
+
+    def expel(self, node_id: NodeId) -> None:
+        """Remove a node from the fabric."""
+        self._expelled.add(node_id)
+
+    def is_connected(self, node_id: NodeId) -> bool:
+        """Whether a node is registered and not expelled."""
+        return node_id in self._udp and node_id not in self._expelled
+
+    def udp_address(self, node_id: NodeId) -> Optional[Address]:
+        """UDP endpoint of ``node_id`` (None when unreachable)."""
+        if node_id in self._expelled:
+            return None
+        return self._udp.get(node_id)
+
+    def tcp_address(self, node_id: NodeId) -> Optional[Address]:
+        """TCP endpoint of ``node_id`` (None when unreachable)."""
+        if node_id in self._expelled:
+            return None
+        return self._tcp.get(node_id)
+
+
+class _DatagramProtocol(asyncio.DatagramProtocol):
+    def __init__(self, on_datagram: Callable[[bytes], None]) -> None:
+        self._on_datagram = on_datagram
+
+    def datagram_received(self, data: bytes, addr) -> None:  # noqa: D102
+        self._on_datagram(data)
+
+    def error_received(self, exc) -> None:  # noqa: D102
+        pass  # loopback ICMP errors are uninteresting
+
+
+class AsyncTransport:
+    """The transport facade over asyncio sockets.
+
+    Satisfies the same interface as
+    :class:`repro.gossip.protocol.SimTransport`: ``clock``,
+    ``call_later``, ``call_every``, ``send`` — so a
+    :class:`~repro.gossip.protocol.GossipNode` runs on it unmodified.
+    """
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        registry: NodeRegistry,
+        *,
+        loss_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        epoch: Optional[float] = None,
+    ) -> None:
+        require(0.0 <= loss_rate < 1.0, "loss_rate must be in [0, 1)")
+        self.loop = loop
+        self.registry = registry
+        self.loss_rate = loss_rate
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.epoch = loop.time() if epoch is None else epoch
+        self._endpoints: Dict[NodeId, asyncio.DatagramTransport] = {}
+        self._receivers: Dict[NodeId, Callable[[NodeId, object], None]] = {}
+        self._servers: Dict[NodeId, asyncio.AbstractServer] = {}
+        self.datagrams_sent = 0
+        self.datagrams_dropped = 0
+
+    # ------------------------------------------------------------------
+    # the facade used by GossipNode
+    # ------------------------------------------------------------------
+    def clock(self) -> float:
+        """Seconds since the cluster epoch."""
+        return self.loop.time() - self.epoch
+
+    def call_later(self, delay: float, callback: Callable[[], None]):
+        """Schedule on the event loop; returns the asyncio handle."""
+        return self.loop.call_later(delay, callback)
+
+    def call_every(self, interval: float, callback, *, first_delay: float, jitter=None):
+        """Periodic scheduling with the same semantics as the simulator."""
+        return _PeriodicHandle(self.loop, interval, callback, first_delay, jitter)
+
+    def send(self, src: NodeId, dst: NodeId, message: object, reliable: bool) -> bool:
+        """Ship one message; datagrams may be synthetically dropped."""
+        if not self.registry.is_connected(src) or not self.registry.is_connected(dst):
+            return False
+        payload = pickle.dumps((src, message), protocol=pickle.HIGHEST_PROTOCOL)
+        if not reliable:
+            endpoint = self._endpoints.get(src)
+            address = self.registry.udp_address(dst)
+            if endpoint is None or address is None:
+                return False
+            self.datagrams_sent += 1
+            if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+                self.datagrams_dropped += 1
+                return True
+            endpoint.sendto(payload, address)
+            return True
+        address = self.registry.tcp_address(dst)
+        if address is None:
+            return False
+        self.loop.create_task(self._send_stream(address, payload))
+        return True
+
+    async def _send_stream(self, address: Address, payload: bytes) -> None:
+        try:
+            _reader, writer = await asyncio.open_connection(*address)
+        except OSError:
+            return
+        try:
+            writer.write(_LENGTH.pack(len(payload)) + payload)
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # endpoint lifecycle
+    # ------------------------------------------------------------------
+    async def open_endpoints(
+        self, node_id: NodeId, receiver: Callable[[NodeId, object], None]
+    ) -> None:
+        """Bind the node's UDP socket and TCP server on loopback."""
+        self._receivers[node_id] = receiver
+        transport, _protocol = await self.loop.create_datagram_endpoint(
+            lambda: _DatagramProtocol(lambda data: self._dispatch(node_id, data)),
+            local_addr=("127.0.0.1", 0),
+        )
+        self._endpoints[node_id] = transport
+        udp_addr = transport.get_extra_info("sockname")
+
+        server = await asyncio.start_server(
+            lambda r, w: self._serve_stream(node_id, r, w), "127.0.0.1", 0
+        )
+        self._servers[node_id] = server
+        tcp_addr = server.sockets[0].getsockname()
+        self.registry.register(node_id, udp_addr, tcp_addr)
+
+    def _dispatch(self, node_id: NodeId, data: bytes) -> None:
+        if not self.registry.is_connected(node_id):
+            return
+        try:
+            src, message = pickle.loads(data)
+        except Exception:
+            return  # malformed datagram: drop, as a real stack would
+        receiver = self._receivers.get(node_id)
+        if receiver is not None:
+            receiver(src, message)
+
+    async def _serve_stream(self, node_id: NodeId, reader, writer) -> None:
+        try:
+            header = await reader.readexactly(_LENGTH.size)
+            (length,) = _LENGTH.unpack(header)
+            payload = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, OSError):
+            return
+        finally:
+            writer.close()
+        if not self.registry.is_connected(node_id):
+            return
+        try:
+            src, message = pickle.loads(payload)
+        except Exception:
+            return
+        receiver = self._receivers.get(node_id)
+        if receiver is not None:
+            receiver(src, message)
+
+    async def close(self) -> None:
+        """Tear down all endpoints."""
+        for transport in self._endpoints.values():
+            transport.close()
+        for server in self._servers.values():
+            server.close()
+            await server.wait_closed()
+        self._endpoints.clear()
+        self._servers.clear()
+
+
+class _PeriodicHandle:
+    """Asyncio counterpart of the simulator's periodic timer."""
+
+    def __init__(self, loop, interval, callback, first_delay, jitter) -> None:
+        self._loop = loop
+        self.interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self.stopped = False
+        self._handle = loop.call_later(max(0.0, first_delay), self._tick)
+
+    def _tick(self) -> None:
+        if self.stopped:
+            return
+        self._callback()
+        if self.stopped:
+            return
+        delay = self.interval + (self._jitter() if self._jitter is not None else 0.0)
+        self._handle = self._loop.call_later(max(0.001, delay), self._tick)
+
+    def stop(self) -> None:
+        self.stopped = True
+        if self._handle is not None:
+            self._handle.cancel()

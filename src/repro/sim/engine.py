@@ -1,0 +1,222 @@
+"""The discrete-event engine: a simulated clock and an event queue.
+
+Design notes
+------------
+* Events are ``(time, sequence, callback)`` triples in a binary heap.
+  The monotonically increasing sequence number breaks ties, so two
+  events scheduled for the same instant fire in scheduling order —
+  this keeps runs fully deterministic.
+* Callbacks are plain callables taking no arguments; state is captured
+  by closure or ``functools.partial``.  Cancellation is handled with
+  lightweight :class:`Timer` handles (lazy deletion: a cancelled event
+  stays in the heap but is skipped when popped).
+* The engine knows nothing about networks or nodes; those live in
+  :mod:`repro.sim.network`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional
+
+from repro.util.validation import require
+
+Callback = Callable[[], None]
+
+
+class Timer:
+    """Handle for a scheduled event; supports cancellation.
+
+    Instances are returned by :meth:`Simulator.call_at` /
+    :meth:`Simulator.call_later`.  Cancelling after the event has fired
+    is a harmless no-op.
+    """
+
+    __slots__ = ("time", "_callback", "cancelled", "fired")
+
+    def __init__(self, time: float, callback: Callback) -> None:
+        self.time = time
+        self._callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self.cancelled = True
+        self._callback = None  # release references eagerly
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is pending (not fired, not cancelled)."""
+        return not self.cancelled and not self.fired
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        callback = self._callback
+        self.fired = True
+        self._callback = None
+        if callback is not None:
+            callback()
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> order = []
+    >>> _ = sim.call_later(2.0, lambda: order.append("b"))
+    >>> _ = sim.call_later(1.0, lambda: order.append("a"))
+    >>> sim.run()
+    >>> order, sim.now
+    (['a', 'b'], 2.0)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._queue: List = []
+        self._sequence = 0
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: Callback) -> Timer:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Scheduling in the past raises — that is always a logic error in
+        protocol code (e.g. a negative latency).
+        """
+        require(time >= self.now, "cannot schedule in the past (%r < now=%r)", time, self.now)
+        require(math.isfinite(time), "event time must be finite, got %r", time)
+        timer = Timer(time, callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, timer))
+        return timer
+
+    def call_later(self, delay: float, callback: Callback) -> Timer:
+        """Schedule ``callback`` after ``delay`` simulated seconds."""
+        require(delay >= 0, "delay must be >= 0, got %r", delay)
+        return self.call_at(self.now + delay, callback)
+
+    def call_every(
+        self,
+        interval: float,
+        callback: Callback,
+        *,
+        first_at: Optional[float] = None,
+        jitter: Callable[[], float] = None,
+    ) -> "PeriodicTimer":
+        """Schedule ``callback`` every ``interval`` seconds.
+
+        ``first_at`` sets the absolute time of the first invocation
+        (defaults to ``now + interval``).  ``jitter``, if given, is
+        called before each rescheduling and its return value is added to
+        the interval — used to desynchronise gossip periods across
+        nodes, as would naturally happen on a real testbed.
+        """
+        require(interval > 0, "interval must be > 0, got %r", interval)
+        return PeriodicTimer(self, interval, callback, first_at=first_at, jitter=jitter)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            time, _seq, timer = heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            self.now = time
+            self._events_processed += 1
+            timer._fire()
+            return True
+        return False
+
+    def run(self, *, until: float = math.inf, max_events: int = None) -> None:
+        """Run events until the queue drains, ``until`` passes, or
+        ``max_events`` have been processed.
+
+        When stopping at ``until``, the clock is advanced exactly to
+        ``until`` so that a subsequent ``run`` resumes cleanly.
+        """
+        processed = 0
+        while self._queue:
+            next_time = self._peek_time()
+            if next_time is None:
+                break
+            if next_time > until:
+                self.now = until
+                return
+            if max_events is not None and processed >= max_events:
+                return
+            self.step()
+            processed += 1
+        if math.isfinite(until) and until > self.now:
+            self.now = until
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue:
+            time, _seq, timer = self._queue[0]
+            if timer.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return time
+        return None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for _t, _s, timer in self._queue if not timer.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed so far."""
+        return self._events_processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now:.3f}, pending={self.pending_events})"
+
+
+class PeriodicTimer:
+    """Repeatedly fires a callback; created via :meth:`Simulator.call_every`."""
+
+    __slots__ = ("_sim", "interval", "_callback", "_jitter", "_timer", "stopped", "fire_count")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callback,
+        *,
+        first_at: Optional[float] = None,
+        jitter: Callable[[], float] = None,
+    ) -> None:
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self.stopped = False
+        self.fire_count = 0
+        start = first_at if first_at is not None else sim.now + interval
+        self._timer = sim.call_at(start, self._tick)
+
+    def _tick(self) -> None:
+        if self.stopped:
+            return
+        self.fire_count += 1
+        self._callback()
+        if self.stopped:  # callback may stop the timer
+            return
+        delay = self.interval + (self._jitter() if self._jitter is not None else 0.0)
+        if delay <= 0:
+            delay = self.interval
+        self._timer = self._sim.call_later(delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop firing; pending tick is cancelled."""
+        self.stopped = True
+        if self._timer is not None:
+            self._timer.cancel()

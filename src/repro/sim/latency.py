@@ -1,0 +1,98 @@
+"""Network latency models.
+
+PlanetLab links have heterogeneous delays; the paper's protocol is
+timing-sensitive (chunks must be proposed within one gossip period of
+reception, verifications run on timeouts), so latency is a first-class
+model here rather than a constant.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.util.validation import require, require_non_negative
+
+NodeId = int
+
+
+class LatencyModel(abc.ABC):
+    """Draws the one-way delay for a message from ``src`` to ``dst``."""
+
+    @abc.abstractmethod
+    def sample(self, src: NodeId, dst: NodeId) -> float:
+        """One-way latency in seconds for this transmission."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` seconds."""
+
+    def __init__(self, delay: float = 0.05) -> None:
+        self.delay = require_non_negative(delay, "delay")
+
+    def sample(self, src: NodeId, dst: NodeId) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]`` per message."""
+
+    def __init__(self, rng: np.random.Generator, low: float = 0.02, high: float = 0.12) -> None:
+        require_non_negative(low, "low")
+        require(high >= low, "high (%r) must be >= low (%r)", high, low)
+        self._rng = rng
+        self.low = low
+        self.high = high
+
+    def sample(self, src: NodeId, dst: NodeId) -> float:
+        return float(self._rng.uniform(self.low, self.high))
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed latency, the common fit for wide-area RTT samples.
+
+    ``median`` is the median one-way delay and ``sigma`` the log-space
+    dispersion; samples are optionally capped at ``cap`` to avoid
+    unbounded tail events destabilising small experiments.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        median: float = 0.05,
+        sigma: float = 0.5,
+        cap: float = 2.0,
+    ) -> None:
+        self._rng = rng
+        self.median = require_non_negative(median, "median")
+        self.sigma = require_non_negative(sigma, "sigma")
+        self.cap = require_non_negative(cap, "cap")
+
+    def sample(self, src: NodeId, dst: NodeId) -> float:
+        value = float(self._rng.lognormal(mean=np.log(self.median), sigma=self.sigma))
+        return min(value, self.cap)
+
+
+class PerNodeLatency(LatencyModel):
+    """Adds per-node access delays on top of a base model.
+
+    Models PlanetLab's slow hosts: a message's delay is
+    ``base.sample() + access[src] + access[dst]``.  Nodes without an
+    entry have zero access delay.
+    """
+
+    def __init__(self, base: LatencyModel, access_delay: dict = None) -> None:
+        self.base = base
+        self.access_delay = dict(access_delay or {})
+
+    def set_access_delay(self, node: NodeId, delay: float) -> None:
+        """Set the access-link delay for ``node``."""
+        self.access_delay[node] = require_non_negative(delay, "delay")
+
+    def sample(self, src: NodeId, dst: NodeId) -> float:
+        return (
+            self.base.sample(src, dst)
+            + self.access_delay.get(src, 0.0)
+            + self.access_delay.get(dst, 0.0)
+        )

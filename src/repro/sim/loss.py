@@ -1,0 +1,86 @@
+"""Message-loss models for the datagram (UDP) path.
+
+The paper's analysis assumes i.i.d. Bernoulli losses with parameter
+``p_l`` (§6.2); PlanetLab adds per-node heterogeneity (some hosts lose
+far more than the 4 % average — these become the paper's false
+positives).  Both are modelled here.  The reliable (TCP) path bypasses
+loss models entirely, mirroring §5.3's choice to run audits over TCP.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.util.validation import require_probability
+
+NodeId = int
+
+
+class LossModel(abc.ABC):
+    """Decides whether a datagram from ``src`` to ``dst`` is dropped."""
+
+    @abc.abstractmethod
+    def is_lost(self, src: NodeId, dst: NodeId) -> bool:
+        """True if this transmission is dropped."""
+
+
+class NoLoss(LossModel):
+    """Perfect network — used by unit tests and the analysis baselines."""
+
+    def is_lost(self, src: NodeId, dst: NodeId) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """I.i.d. loss with probability ``p_loss`` (the analysis model)."""
+
+    def __init__(self, rng: np.random.Generator, p_loss: float) -> None:
+        self._rng = rng
+        self.p_loss = require_probability(p_loss, "p_loss")
+
+    def is_lost(self, src: NodeId, dst: NodeId) -> bool:
+        if self.p_loss == 0.0:
+            return False
+        return bool(self._rng.random() < self.p_loss)
+
+
+class PerNodeLoss(LossModel):
+    """Per-endpoint loss rates combined independently.
+
+    A datagram survives only if it escapes the sender's loss rate *and*
+    the receiver's: ``p_deliver = (1 - p[src]) * (1 - p[dst])``.  The
+    ``base`` rate applies to the path itself.  This reproduces the
+    PlanetLab situation where a handful of badly connected hosts are
+    blamed far more than average honest nodes.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        base: float = 0.0,
+        node_loss: dict = None,
+    ) -> None:
+        self._rng = rng
+        self.base = require_probability(base, "base")
+        self.node_loss = {k: require_probability(v, "node_loss") for k, v in (node_loss or {}).items()}
+
+    def set_node_loss(self, node: NodeId, p: float) -> None:
+        """Set the endpoint loss rate of ``node``."""
+        self.node_loss[node] = require_probability(p, "p")
+
+    def loss_probability(self, src: NodeId, dst: NodeId) -> float:
+        """Effective loss probability of the (src, dst) path."""
+        p_keep = (
+            (1.0 - self.base)
+            * (1.0 - self.node_loss.get(src, 0.0))
+            * (1.0 - self.node_loss.get(dst, 0.0))
+        )
+        return 1.0 - p_keep
+
+    def is_lost(self, src: NodeId, dst: NodeId) -> bool:
+        p = self.loss_probability(src, dst)
+        if p <= 0.0:
+            return False
+        return bool(self._rng.random() < p)

@@ -1,0 +1,182 @@
+"""The simulated network: lossy datagrams and reliable streams.
+
+The dissemination and direct-verification path runs over UDP (cheap,
+lossy); local-history audits run over TCP (reliable, §5.3).  The network
+object models both on top of the same latency models:
+
+* ``Transport.UDP`` — subject to the loss model; one latency sample.
+* ``Transport.TCP`` — never lost; pays an extra connection overhead the
+  first time and per-message latency inflated by ``tcp_latency_factor``
+  (acknowledgement round trips).
+
+Every transmission is serialised through the sender's
+:class:`~repro.sim.bandwidth.UploadLink` and accounted in the
+:class:`~repro.sim.trace.MessageTrace`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable, Dict, Optional, Protocol
+
+from repro.sim.bandwidth import UploadLink
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.loss import LossModel, NoLoss
+from repro.sim.trace import MessageTrace
+from repro.util.validation import require
+
+NodeId = int
+
+
+class Transport(enum.Enum):
+    """Which channel a message travels on."""
+
+    UDP = "udp"
+    TCP = "tcp"
+
+
+class Endpoint(Protocol):
+    """Anything that can receive messages from the network."""
+
+    node_id: NodeId
+
+    def on_message(self, src: NodeId, message: object) -> None:
+        """Handle a delivered message."""
+
+
+def default_wire_size(message: object) -> int:
+    """Wire size of a message: its ``wire_size()`` if defined, else 64 B."""
+    sizer = getattr(message, "wire_size", None)
+    if sizer is None:
+        return 64
+    return int(sizer())
+
+
+class Network:
+    """Connects registered endpoints through modelled channels.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event engine driving delivery times.
+    latency:
+        One-way delay model (defaults to a 50 ms constant).
+    loss:
+        Datagram loss model (defaults to no loss).
+    trace:
+        Byte/message accounting sink (a fresh one is created if omitted).
+    tcp_latency_factor:
+        Multiplier on the latency sample for TCP messages (handshake +
+        acknowledgement round trips).  The paper's audits tolerate this
+        because they are sporadic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+        trace: Optional[MessageTrace] = None,
+        tcp_latency_factor: float = 2.0,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else ConstantLatency()
+        self.loss = loss if loss is not None else NoLoss()
+        self.trace = trace if trace is not None else MessageTrace()
+        self.tcp_latency_factor = tcp_latency_factor
+        self._endpoints: Dict[NodeId, Endpoint] = {}
+        self._links: Dict[NodeId, UploadLink] = {}
+        self._disconnected: set = set()
+        self.wire_size: Callable[[object], int] = default_wire_size
+
+    # ------------------------------------------------------------------
+    # membership of the network fabric
+    # ------------------------------------------------------------------
+    def register(self, endpoint: Endpoint, upload_rate: float = math.inf) -> None:
+        """Attach ``endpoint``; duplicate ids are configuration errors."""
+        node_id = endpoint.node_id
+        require(node_id not in self._endpoints, "node %s already registered", node_id)
+        self._endpoints[node_id] = endpoint
+        self._links[node_id] = UploadLink(upload_rate)
+
+    def set_upload_rate(self, node: NodeId, rate_bytes_per_s: float) -> None:
+        """Replace the upload capacity of ``node``."""
+        require(node in self._links, "unknown node %s", node)
+        self._links[node] = UploadLink(rate_bytes_per_s)
+
+    def link(self, node: NodeId) -> UploadLink:
+        """The upload link of ``node``."""
+        return self._links[node]
+
+    def disconnect(self, node: NodeId) -> None:
+        """Expel ``node`` from the fabric: it can no longer send or receive.
+
+        This is the enforcement end of LiFTinG — managers call it when a
+        node's score crosses the expulsion threshold or it fails an
+        entropy audit.
+        """
+        self._disconnected.add(node)
+
+    def reconnect(self, node: NodeId) -> None:
+        """Undo :meth:`disconnect` (used by churn experiments)."""
+        self._disconnected.discard(node)
+
+    def is_connected(self, node: NodeId) -> bool:
+        """True if ``node`` is registered and not expelled."""
+        return node in self._endpoints and node not in self._disconnected
+
+    @property
+    def node_ids(self):
+        """All registered node ids (including disconnected ones)."""
+        return list(self._endpoints.keys())
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: object,
+        transport: Transport = Transport.UDP,
+    ) -> bool:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        Returns True if the message was put on the wire (it may still be
+        lost in flight on UDP).  Sends from or to expelled nodes are
+        silently dropped — an expelled node's packets no longer enter
+        the fabric, but we return False so callers can observe it.
+        """
+        if src in self._disconnected:
+            return False
+        require(src in self._endpoints, "unknown sender %s", src)
+        if dst not in self._endpoints:
+            return False
+
+        size = self.wire_size(message)
+        departure = self._links[src].transmit(self.sim.now, size)
+        self.trace.record_sent(src, message, size)
+
+        if transport is Transport.UDP and self.loss.is_lost(src, dst):
+            self.trace.record_lost(src, dst, message)
+            return True
+
+        delay = self.latency.sample(src, dst)
+        if transport is Transport.TCP:
+            delay *= self.tcp_latency_factor
+        arrival = max(departure, self.sim.now) + delay
+        self.sim.call_at(arrival, lambda: self._deliver(src, dst, message))
+        return True
+
+    def _deliver(self, src: NodeId, dst: NodeId, message: object) -> None:
+        if dst in self._disconnected or src in self._disconnected:
+            # Expulsion takes effect immediately: in-flight traffic of an
+            # expelled node is discarded at delivery time.
+            return
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:
+            return
+        self.trace.record_delivered(dst, message)
+        endpoint.on_message(src, message)

@@ -1,0 +1,148 @@
+"""Byte- and message-level accounting.
+
+Table 5 of the paper reports the *bandwidth overhead* of LiFTinG: bytes
+spent on verification traffic (acks, confirms, confirm responses,
+blames, score reads) relative to bytes spent on the data path (propose /
+request / serve).  Table 3 reports per-role *message counts*.  The
+:class:`MessageTrace` records both, keyed by message kind and by the
+category the message class declares (``data``, ``verification``,
+``reputation`` or ``control``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Optional
+
+NodeId = int
+
+CATEGORY_DATA = "data"
+CATEGORY_VERIFICATION = "verification"
+CATEGORY_REPUTATION = "reputation"
+CATEGORY_CONTROL = "control"
+
+ALL_CATEGORIES = (
+    CATEGORY_DATA,
+    CATEGORY_VERIFICATION,
+    CATEGORY_REPUTATION,
+    CATEGORY_CONTROL,
+)
+
+
+def message_kind(message: object) -> str:
+    """The trace key of a message: its class name."""
+    return type(message).__name__
+
+
+def message_category(message: object) -> str:
+    """The trace category of a message (class attribute ``CATEGORY``)."""
+    return getattr(message, "CATEGORY", CATEGORY_CONTROL)
+
+
+class MessageTrace:
+    """Accumulates message counts and byte volumes.
+
+    All counters are ``(kind | category, node) -> value`` maps; the
+    aggregate queries below are what the metrics layer consumes.
+    """
+
+    def __init__(self) -> None:
+        self._sent_count: Dict[str, int] = defaultdict(int)
+        self._sent_bytes: Dict[str, int] = defaultdict(int)
+        self._lost_count: Dict[str, int] = defaultdict(int)
+        self._delivered_count: Dict[str, int] = defaultdict(int)
+        self._node_sent_bytes: Dict[NodeId, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._node_sent_count: Dict[NodeId, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._category_bytes: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # recording (called by the network)
+    # ------------------------------------------------------------------
+    def record_sent(self, src: NodeId, message: object, size: int) -> None:
+        """Account an outgoing message (before any loss decision)."""
+        kind = message_kind(message)
+        category = message_category(message)
+        self._sent_count[kind] += 1
+        self._sent_bytes[kind] += size
+        self._category_bytes[category] += size
+        node = self._node_sent_bytes[src]
+        node[category] += size
+        self._node_sent_count[src][kind] += 1
+
+    def record_lost(self, src: NodeId, dst: NodeId, message: object) -> None:
+        """Account a datagram dropped by the loss model."""
+        self._lost_count[message_kind(message)] += 1
+
+    def record_delivered(self, dst: NodeId, message: object) -> None:
+        """Account a delivered message."""
+        self._delivered_count[message_kind(message)] += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def sent_count(self, kind: Optional[str] = None) -> int:
+        """Messages sent, for one ``kind`` or in total."""
+        if kind is None:
+            return sum(self._sent_count.values())
+        return self._sent_count.get(kind, 0)
+
+    def sent_bytes(self, kind: Optional[str] = None) -> int:
+        """Bytes sent, for one ``kind`` or in total."""
+        if kind is None:
+            return sum(self._sent_bytes.values())
+        return self._sent_bytes.get(kind, 0)
+
+    def lost_count(self, kind: Optional[str] = None) -> int:
+        """Datagrams lost, for one ``kind`` or in total."""
+        if kind is None:
+            return sum(self._lost_count.values())
+        return self._lost_count.get(kind, 0)
+
+    def delivered_count(self, kind: Optional[str] = None) -> int:
+        """Messages delivered, for one ``kind`` or in total."""
+        if kind is None:
+            return sum(self._delivered_count.values())
+        return self._delivered_count.get(kind, 0)
+
+    def category_bytes(self, category: str) -> int:
+        """Total bytes sent in ``category`` across all nodes."""
+        return self._category_bytes.get(category, 0)
+
+    def node_category_bytes(self, node: NodeId, category: str) -> int:
+        """Bytes ``node`` sent in ``category``."""
+        return self._node_sent_bytes.get(node, {}).get(category, 0)
+
+    def node_sent_count(self, node: NodeId, kind: str) -> int:
+        """Messages of ``kind`` sent by ``node``."""
+        return self._node_sent_count.get(node, {}).get(kind, 0)
+
+    def kinds(self) -> Iterable[str]:
+        """All message kinds observed so far."""
+        return sorted(self._sent_count.keys())
+
+    def overhead_ratio(
+        self,
+        overhead_categories: Iterable[str] = (CATEGORY_VERIFICATION, CATEGORY_REPUTATION),
+        data_category: str = CATEGORY_DATA,
+    ) -> float:
+        """Verification bytes divided by data bytes (Table 5's metric).
+
+        Returns 0.0 when no data bytes were sent (e.g. before the stream
+        starts) rather than dividing by zero.
+        """
+        data = self.category_bytes(data_category)
+        if data == 0:
+            return 0.0
+        overhead = sum(self.category_bytes(c) for c in overhead_categories)
+        return overhead / data
+
+    def loss_rate(self, kind: Optional[str] = None) -> float:
+        """Observed datagram loss rate (lost / sent)."""
+        sent = self.sent_count(kind)
+        if sent == 0:
+            return 0.0
+        return self.lost_count(kind) / sent
+
+    def reset(self) -> None:
+        """Drop all counters (e.g. to exclude a warm-up phase)."""
+        self.__init__()

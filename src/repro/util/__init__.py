@@ -1,0 +1,29 @@
+"""Shared utilities: deterministic RNG plumbing, statistics, multisets.
+
+These helpers are deliberately dependency-light; every other subpackage
+builds on them.  All randomness in the repository flows through
+:mod:`repro.util.rng` so that experiments are reproducible from a single
+integer seed.
+"""
+
+from repro.util.multiset import Multiset
+from repro.util.rng import SeedSequenceFactory, derive_seed, make_generator
+from repro.util.stats import (
+    EmpiricalDistribution,
+    RunningStats,
+    empirical_cdf,
+    histogram_density,
+)
+from repro.util.validation import require
+
+__all__ = [
+    "EmpiricalDistribution",
+    "Multiset",
+    "RunningStats",
+    "SeedSequenceFactory",
+    "derive_seed",
+    "empirical_cdf",
+    "histogram_density",
+    "make_generator",
+    "require",
+]

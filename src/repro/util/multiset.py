@@ -1,0 +1,134 @@
+"""A counting multiset with the entropy operations LiFTinG's audits need.
+
+Local history auditing (paper §5.3) inspects the *multiset* ``F_h`` of
+partners a node proposed to during the last ``n_h`` gossip periods, and
+the multiset ``F'_h`` of nodes that cross-checked it (its fanin).  The
+audit computes the Shannon entropy of the empirical distribution of the
+multiset and compares it with the threshold ``γ``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Tuple, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Multiset(Generic[T]):
+    """Multiset (bag) of hashable elements with entropy support.
+
+    >>> m = Multiset([1, 2, 2, 3])
+    >>> m.count(2)
+    2
+    >>> len(m)
+    4
+    >>> round(m.shannon_entropy(), 3)
+    1.5
+    """
+
+    __slots__ = ("_counts", "_size")
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._counts: Counter = Counter(items)
+        self._size = sum(self._counts.values())
+
+    def add(self, item: T, count: int = 1) -> None:
+        """Insert ``count`` occurrences of ``item``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._counts[item] += count
+        self._size += count
+
+    def discard(self, item: T, count: int = 1) -> None:
+        """Remove up to ``count`` occurrences of ``item`` (no error if absent)."""
+        present = self._counts.get(item, 0)
+        removed = min(present, count)
+        if removed:
+            if present == removed:
+                del self._counts[item]
+            else:
+                self._counts[item] = present - removed
+            self._size -= removed
+
+    def count(self, item: T) -> int:
+        """Number of occurrences of ``item``."""
+        return self._counts.get(item, 0)
+
+    def distinct(self) -> int:
+        """Number of distinct elements."""
+        return len(self._counts)
+
+    def elements(self) -> Iterator[T]:
+        """Iterate over elements with multiplicity."""
+        return iter(self._counts.elements())
+
+    def items(self) -> Iterator[Tuple[T, int]]:
+        """Iterate over ``(element, count)`` pairs."""
+        return iter(self._counts.items())
+
+    def support(self) -> List[T]:
+        """The distinct elements as a list."""
+        return list(self._counts.keys())
+
+    def frequencies(self) -> Dict[T, float]:
+        """Empirical distribution: element -> count / total."""
+        if self._size == 0:
+            return {}
+        return {item: count / self._size for item, count in self._counts.items()}
+
+    def shannon_entropy(self) -> float:
+        """Shannon entropy (base 2) of the empirical distribution.
+
+        This is Eq. (1) of the paper: ``H(d̃) = -Σ d̃_i log2 d̃_i`` where
+        ``d̃_i`` is the normalised occurrence count of node ``i``.  An
+        empty multiset has entropy 0 by convention.
+        """
+        if self._size == 0:
+            return 0.0
+        total = self._size
+        entropy = 0.0
+        for count in self._counts.values():
+            p = count / total
+            entropy -= p * math.log2(p)
+        return entropy
+
+    def max_entropy(self) -> float:
+        """Entropy if every occurrence were of a distinct element.
+
+        Equals ``log2(len(self))`` — the paper's bound ``log2(n_h f)``
+        for a fanout history of ``n_h f`` entries.
+        """
+        return math.log2(self._size) if self._size > 0 else 0.0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._counts
+
+    def __iter__(self) -> Iterator[T]:
+        return self.elements()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:
+        return f"Multiset({dict(self._counts)!r})"
+
+    def copy(self) -> "Multiset[T]":
+        """A shallow copy."""
+        clone: Multiset[T] = Multiset()
+        clone._counts = Counter(self._counts)
+        clone._size = self._size
+        return clone
+
+    def union(self, other: "Multiset[T]") -> "Multiset[T]":
+        """Multiset sum (counts add)."""
+        clone = self.copy()
+        for item, count in other.items():
+            clone.add(item, count)
+        return clone

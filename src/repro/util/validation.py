@@ -1,0 +1,44 @@
+"""Small validation helpers used across the code base.
+
+The simulator and the protocol implementation validate their inputs
+eagerly: a mis-configured experiment should fail at construction time
+with a clear message, not after minutes of simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str, *args: Any) -> None:
+    """Raise :class:`ValueError` with ``message % args`` unless ``condition``.
+
+    Using ``%``-style lazy formatting keeps the hot paths cheap when the
+    condition holds (the common case).
+
+    >>> require(1 + 1 == 2, "math is broken")
+    >>> require(False, "bad fanout %d", -3)
+    Traceback (most recent call last):
+        ...
+    ValueError: bad fanout -3
+    """
+    if not condition:
+        raise ValueError(message % args if args else message)
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` and return it."""
+    require(0.0 <= value <= 1.0, "%s must be a probability in [0, 1], got %r", name, value)
+    return float(value)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    require(value > 0, "%s must be > 0, got %r", name, value)
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    require(value >= 0, "%s must be >= 0, got %r", name, value)
+    return value

@@ -1,0 +1,124 @@
+"""Tests for the detection bounds (§6.3.1) and entropy analysis (§6.3.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.detection import (
+    alpha_lower_bound,
+    beta_upper_bound,
+    freerider_score_expectation,
+    minimum_periods_for_beta,
+)
+from repro.analysis.entropy_analysis import (
+    collusion_entropy,
+    max_bias_probability,
+    max_fanout_entropy,
+    required_history_for_bias,
+)
+from repro.config import FreeriderDegree
+
+
+class TestBetaBound:
+    def test_tchebychev_form(self):
+        # β ≤ σ(b)² / (r η²) — paper's values σ=25.6, η=-9.75, r=50.
+        assert beta_upper_bound(25.6, 50, -9.75) == pytest.approx(
+            25.6**2 / (50 * 9.75**2)
+        )
+
+    def test_clipped_to_one(self):
+        assert beta_upper_bound(1000.0, 1, -0.1) == 1.0
+
+    def test_decreases_with_residence_time(self):
+        assert beta_upper_bound(25.6, 100, -9.75) < beta_upper_bound(25.6, 50, -9.75)
+
+    def test_requires_negative_eta(self):
+        with pytest.raises(ValueError):
+            beta_upper_bound(1.0, 10, 1.0)
+
+
+class TestAlphaBound:
+    def test_trivial_when_mean_above_threshold(self):
+        # Freerider whose mean drift does not reach η: no guarantee.
+        assert alpha_lower_bound(5.0, 50, -9.75, mean_excess=5.0) == 0.0
+
+    def test_positive_when_mean_below_threshold(self):
+        bound = alpha_lower_bound(10.0, 50, -9.75, mean_excess=30.0)
+        assert 0 < bound < 1
+
+    def test_improves_with_time(self):
+        early = alpha_lower_bound(10.0, 10, -9.75, mean_excess=30.0)
+        late = alpha_lower_bound(10.0, 100, -9.75, mean_excess=30.0)
+        assert late > early
+
+    def test_score_expectation_sign(self):
+        degree = FreeriderDegree.uniform(0.1)
+        assert freerider_score_expectation(degree, 12, 4, 0.93) < 0
+
+
+class TestMinimumPeriods:
+    def test_round_trip_with_beta_bound(self):
+        r = minimum_periods_for_beta(25.6, -9.75, 0.01)
+        assert beta_upper_bound(25.6, r, -9.75) <= 0.01
+        assert beta_upper_bound(25.6, r - 1, -9.75) > 0.01
+
+
+class TestEntropyAnalysis:
+    def test_max_entropy_paper_value(self):
+        # log2(600) = 9.23 (§6.3.2).
+        assert max_fanout_entropy(50, 12) == pytest.approx(9.23, abs=0.005)
+
+    def test_collusion_entropy_at_uniform_point(self):
+        # p_m = m'/(n_h f) is the unbiased point: entropy = log2(n_h f).
+        h = collusion_entropy(25 / 600, 25, 600)
+        assert h == pytest.approx(math.log2(600), abs=1e-9)
+
+    def test_collusion_entropy_at_full_bias(self):
+        assert collusion_entropy(1.0, 25, 600) == pytest.approx(math.log2(25))
+
+    def test_paper_inversion_21_percent(self):
+        # γ=8.95, m'=25, n_h f=600 → p*_m ≈ 0.21 (§6.3.2).
+        assert max_bias_probability(8.95, 25, 600) == pytest.approx(0.21, abs=0.01)
+
+    def test_gamma_above_max_returns_uniform_share(self):
+        assert max_bias_probability(20.0, 25, 600) == pytest.approx(25 / 600)
+
+    def test_gamma_below_log_m_allows_full_bias(self):
+        assert max_bias_probability(1.0, 25, 600) == 1.0
+
+    @given(st.integers(min_value=2, max_value=100))
+    def test_bias_ceiling_decreases_with_smaller_coalitions(self, m):
+        # A larger coalition can hide more bias at the same γ.
+        small = max_bias_probability(8.95, max(1, m // 2), 600)
+        large = max_bias_probability(8.95, m, 600)
+        assert large >= small - 1e-9
+
+    def test_longer_history_tightens_the_ceiling(self):
+        # With γ scaled to keep the same false-expulsion headroom below
+        # log2(n_h f), a longer window leaves the coalition less room.
+        from repro.analysis.entropy_analysis import gamma_for_window
+
+        short = max_bias_probability(gamma_for_window(300), 25, 300)
+        mid = max_bias_probability(gamma_for_window(600), 25, 600)
+        long = max_bias_probability(gamma_for_window(1200), 25, 1200)
+        assert long < mid < short
+
+    def test_gamma_for_window_recovers_paper_value(self):
+        from repro.analysis.entropy_analysis import gamma_for_window
+
+        assert gamma_for_window(600) == pytest.approx(8.95, abs=1e-9)
+
+    def test_required_history_for_bias(self):
+        from repro.analysis.entropy_analysis import gamma_for_window
+
+        n_h = required_history_for_bias(25, 12, max_tolerated_bias=0.18)
+        history = n_h * 12
+        assert max_bias_probability(gamma_for_window(history), 25, history) <= 0.18
+        # One period less is not enough.
+        smaller = (n_h - 1) * 12
+        assert max_bias_probability(gamma_for_window(smaller), 25, smaller) > 0.18
+
+    def test_collusion_entropy_validation(self):
+        with pytest.raises(ValueError):
+            collusion_entropy(0.5, 600, 600)  # coalition >= history

@@ -1,0 +1,82 @@
+"""Tests for b̃'(Δ) — the freerider blame expectation (§6.3.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.freerider_blames import expected_blame_excess, expected_blame_freerider
+from repro.analysis.wrongful_blames import expected_blame_honest
+from repro.config import FreeriderDegree, HONEST_DEGREE
+
+deltas = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestReductionToHonest:
+    def test_zero_degree_equals_eq5(self):
+        for p_r in (0.9, 0.93, 0.99, 1.0):
+            assert expected_blame_freerider(HONEST_DEGREE, 12, 4, p_r) == pytest.approx(
+                expected_blame_honest(12, 4, p_r)
+            )
+
+    def test_excess_zero_for_honest(self):
+        assert expected_blame_excess(HONEST_DEGREE, 12, 4, 0.93) == pytest.approx(0.0)
+
+
+class TestPaperFormula:
+    def test_verbatim_formula(self):
+        # Check against the paper's printed expression term by term.
+        f, big_r, p_r = 12, 4, 0.93
+        d1, d2, d3 = 0.1, 0.2, 0.3
+        degree = FreeriderDegree(d1, d2, d3)
+        f2 = f * f
+        expected = (
+            (1 - d1) * p_r * (1 - p_r**2 * (1 - d3)) * f2
+            + d2 * f2
+            + (1 - d2)
+            * p_r**2
+            * (p_r ** (big_r + 1) * (1 - p_r**3 * (1 - d1)) + (1 - p_r ** (big_r + 1)))
+            * f2
+        )
+        assert expected_blame_freerider(degree, f, big_r, p_r) == pytest.approx(expected)
+
+    def test_planetlab_degree_positive_excess(self):
+        degree = FreeriderDegree(1 / 7, 0.1, 0.1)
+        assert expected_blame_excess(degree, 7, 4, 0.96) > 0
+
+
+class TestMonotonicity:
+    @given(deltas, deltas)
+    def test_excess_increases_with_delta2(self, low, high):
+        low, high = sorted((low, high))
+        a = expected_blame_freerider(FreeriderDegree(0, low, 0), 12, 4, 0.93)
+        b = expected_blame_freerider(FreeriderDegree(0, high, 0), 12, 4, 0.93)
+        assert b >= a - 1e-9
+
+    @given(deltas, deltas)
+    def test_excess_increases_with_delta3(self, low, high):
+        low, high = sorted((low, high))
+        a = expected_blame_freerider(FreeriderDegree(0, 0, low), 12, 4, 0.93)
+        b = expected_blame_freerider(FreeriderDegree(0, 0, high), 12, 4, 0.93)
+        assert b >= a - 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=0.3))
+    def test_uniform_delta_excess_positive(self, delta):
+        if delta == 0.0:
+            return
+        degree = FreeriderDegree.uniform(delta)
+        assert expected_blame_excess(degree, 12, 4, 0.93) > 0
+
+
+class TestBandwidthGain:
+    def test_formula(self):
+        degree = FreeriderDegree(0.1, 0.2, 0.3)
+        assert degree.bandwidth_gain == pytest.approx(1 - 0.9 * 0.8 * 0.7)
+
+    def test_paper_gain_10_percent_at_0035(self):
+        # §6.3.1: a 10 % gain corresponds to δ ≈ 0.035.
+        degree = FreeriderDegree.uniform(0.035)
+        assert degree.bandwidth_gain == pytest.approx(0.10, abs=0.005)
+
+    def test_effective_fanout(self):
+        assert FreeriderDegree(1 / 7, 0, 0).effective_fanout(7) == 6
+        assert FreeriderDegree(0, 0, 0).effective_fanout(7) == 7
+        assert FreeriderDegree(1, 0, 0).effective_fanout(7) == 0

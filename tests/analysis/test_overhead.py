@@ -1,0 +1,61 @@
+"""Tests for the Table 3 message-complexity model."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    MessageCountModel,
+    expected_message_counts,
+    scaling_exponent,
+)
+
+
+class TestExpectedCounts:
+    def test_three_phase_message_count(self):
+        # §6.1: the protocol itself sends f(2 + |R|) messages.
+        model = expected_message_counts(7, 4, 1.0, 25)
+        assert model.data_messages == 7 * (2 + 4)
+
+    def test_confirms_are_pdcc_f_squared(self):
+        model = expected_message_counts(12, 4, 0.5, 25)
+        assert model.confirms_sent == pytest.approx(0.5 * 144)
+        assert model.confirm_responses_sent == pytest.approx(0.5 * 144)
+
+    def test_acks_always_sent(self):
+        # Table 5's note: overhead non-zero at p_dcc = 0 because acks are
+        # always sent.
+        model = expected_message_counts(7, 4, 0.0, 25)
+        assert model.acks == 7
+        assert model.confirms_sent == 0
+
+    def test_blame_bound_scales_with_m_f(self):
+        model = expected_message_counts(7, 4, 1.0, 25)
+        assert model.max_blame_messages == pytest.approx(25 * 7 * 2)
+
+    def test_overhead_ratio(self):
+        model = expected_message_counts(7, 4, 1.0, 25)
+        expected = (7 + 49 + 49) / 42
+        assert model.message_overhead_ratio == pytest.approx(expected)
+
+    def test_zero_data_guard(self):
+        model = MessageCountModel(0, 0, 0, 0, 0, 0, 0)
+        assert model.message_overhead_ratio == 0.0
+
+
+class TestScalingExponent:
+    def test_perfect_quadratic(self):
+        xs = [4, 8, 16]
+        ys = [x**2 for x in xs]
+        assert scaling_exponent(xs, ys) == pytest.approx(2.0)
+
+    def test_linear(self):
+        xs = [2, 4, 8]
+        ys = [3 * x for x in xs]
+        assert scaling_exponent(xs, ys) == pytest.approx(1.0)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            scaling_exponent([2], [4])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            scaling_exponent([1, 2], [0, 4])

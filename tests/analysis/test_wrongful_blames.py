@@ -1,0 +1,117 @@
+"""Closed-form checks against the paper's §6.2 equations and constants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.wrongful_blames import (
+    expected_blame_apcc,
+    expected_blame_cross_checking,
+    expected_blame_direct_verification,
+    expected_blame_honest,
+    variance_blame_direct_verification,
+)
+
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+fanouts = st.integers(min_value=1, max_value=30)
+request_sizes = st.integers(min_value=1, max_value=10)
+
+
+class TestEquation2:
+    def test_closed_form(self):
+        # b̃_dv = p_r (1 - p_r²) f²
+        f, big_r, p_r = 12, 4, 0.93
+        assert expected_blame_direct_verification(f, big_r, p_r) == pytest.approx(
+            p_r * (1 - p_r**2) * f * f
+        )
+
+    def test_independent_of_request_size(self):
+        # The |R| cancels in Eq. (2).
+        assert expected_blame_direct_verification(12, 1, 0.9) == pytest.approx(
+            expected_blame_direct_verification(12, 8, 0.9)
+        )
+
+    @given(fanouts, request_sizes, probabilities)
+    def test_zero_without_loss_or_with_total_loss(self, f, big_r, _p):
+        assert expected_blame_direct_verification(f, big_r, 1.0) == pytest.approx(0.0)
+        assert expected_blame_direct_verification(f, big_r, 0.0) == pytest.approx(0.0)
+
+
+class TestEquation3:
+    def test_paper_form_at_pdcc_one(self):
+        # b̃_dcc = p_r² (1 - p_r^{|R|+4}) f²
+        f, big_r, p_r = 12, 4, 0.93
+        assert expected_blame_cross_checking(f, big_r, p_r, 1.0) == pytest.approx(
+            p_r**2 * (1 - p_r ** (big_r + 4)) * f * f
+        )
+
+    def test_pdcc_scales_only_witness_term(self):
+        f, big_r, p_r = 12, 4, 0.93
+        at_zero = expected_blame_cross_checking(f, big_r, p_r, 0.0)
+        at_one = expected_blame_cross_checking(f, big_r, p_r, 1.0)
+        # Even without confirm rounds the invalid-proposal term remains.
+        assert 0 < at_zero < at_one
+        expected_zero = p_r**2 * (1 - p_r ** (big_r + 1)) * f * f
+        assert at_zero == pytest.approx(expected_zero)
+
+    @given(fanouts, request_sizes, st.floats(min_value=0.01, max_value=0.99))
+    def test_monotone_in_pdcc(self, f, big_r, p_r):
+        low = expected_blame_cross_checking(f, big_r, p_r, 0.2)
+        high = expected_blame_cross_checking(f, big_r, p_r, 0.9)
+        assert low <= high + 1e-12
+
+
+class TestEquation5:
+    def test_paper_constant_72_95(self):
+        # f=12, |R|=4, p_l=7 %: b̃ = 72.95 (§6.2, Figure 10); the exact
+        # closed form gives 72.9447, which the paper rounds.
+        assert expected_blame_honest(12, 4, 0.93) == pytest.approx(72.95, abs=0.01)
+
+    def test_is_sum_of_components(self):
+        f, big_r, p_r = 9, 3, 0.95
+        assert expected_blame_honest(f, big_r, p_r) == pytest.approx(
+            expected_blame_direct_verification(f, big_r, p_r)
+            + expected_blame_cross_checking(f, big_r, p_r)
+        )
+
+    def test_closed_form_identity(self):
+        # b̃ = p_r (1 + p_r - p_r² - p_r^{|R|+5}) f²
+        f, big_r, p_r = 12, 4, 0.93
+        assert expected_blame_honest(f, big_r, p_r) == pytest.approx(
+            p_r * (1 + p_r - p_r**2 - p_r ** (big_r + 5)) * f * f
+        )
+
+    @given(fanouts, request_sizes, st.floats(min_value=0.5, max_value=1.0))
+    def test_nonnegative(self, f, big_r, p_r):
+        assert expected_blame_honest(f, big_r, p_r) >= 0
+
+
+class TestEquation4:
+    def test_closed_form(self):
+        # b̃_apcc = (1-p_r) n_h f; paper example (1-0.93)·50·12 = 42.
+        assert expected_blame_apcc(50, 12, 0.93) == pytest.approx(42.0)
+
+    def test_zero_without_loss(self):
+        assert expected_blame_apcc(50, 12, 1.0) == 0.0
+
+
+class TestVarianceDV:
+    def test_zero_at_no_loss(self):
+        assert variance_blame_direct_verification(12, 4, 1.0) == pytest.approx(0.0)
+
+    def test_positive_under_loss(self):
+        assert variance_blame_direct_verification(12, 4, 0.93) > 0
+
+    def test_matches_monte_carlo(self, rng):
+        # Cross-validate the analytic DV variance with brute sampling.
+        f, big_r, p_r = 8, 4, 0.9
+        import numpy as np
+
+        n = 200_000
+        n_prop = rng.binomial(f, p_r, size=n)
+        n_req = rng.binomial(n_prop, p_r)
+        blame = f * (n_prop - n_req).astype(float)
+        missing = rng.binomial(n_req * big_r, 1 - p_r)
+        blame += (f / big_r) * missing
+        assert variance_blame_direct_verification(f, big_r, p_r) == pytest.approx(
+            float(np.var(blame)), rel=0.03
+        )

@@ -1,0 +1,59 @@
+"""Shared fixtures: small, fast deployments and canonical parameters."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import GossipParams, LiftingParams, planetlab_params
+from repro.experiments.cluster import ClusterConfig, SimCluster
+
+
+@pytest.fixture
+def rng():
+    """A deterministic numpy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_gossip() -> GossipParams:
+    """A tiny but functional protocol configuration."""
+    gossip, _lifting = planetlab_params()
+    return replace(gossip, n=24, fanout=4, source_fanout=4, chunk_size=2048)
+
+
+@pytest.fixture
+def small_lifting() -> LiftingParams:
+    """LiFTinG parameters shrunk for fast tests."""
+    _gossip, lifting = planetlab_params()
+    return replace(lifting, managers=5, history_periods=10, min_periods_before_expel=6)
+
+
+@pytest.fixture
+def small_cluster_factory(small_gossip, small_lifting):
+    """Build small clusters with overrides: ``factory(freerider_fraction=...)``."""
+
+    def factory(**overrides) -> SimCluster:
+        config_kwargs = dict(
+            gossip=small_gossip,
+            lifting=small_lifting,
+            seed=42,
+            loss_rate=0.03,
+        )
+        gossip_overrides = {}
+        lifting_overrides = {}
+        for key in list(overrides):
+            if hasattr(small_gossip, key) and key not in ("gossip", "lifting"):
+                gossip_overrides[key] = overrides.pop(key)
+            elif hasattr(small_lifting, key) and key not in ("gossip", "lifting"):
+                lifting_overrides[key] = overrides.pop(key)
+        config_kwargs.update(overrides)
+        if gossip_overrides:
+            config_kwargs["gossip"] = replace(small_gossip, **gossip_overrides)
+        if lifting_overrides:
+            config_kwargs["lifting"] = replace(small_lifting, **lifting_overrides)
+        return SimCluster(ClusterConfig(**config_kwargs))
+
+    return factory

@@ -1,0 +1,217 @@
+"""Tests for the manager-based reputation substrate (§5.1, §6.2)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.wrongful_blames import expected_blame_honest
+from repro.config import planetlab_params
+from repro.core.reputation import (
+    ManagerAssignment,
+    ReputationManager,
+    ScoreBoard,
+    compensation_per_period,
+)
+
+
+@pytest.fixture
+def params():
+    gossip, lifting = planetlab_params()
+    return replace(gossip, n=20), replace(
+        lifting, managers=4, min_periods_before_expel=5, expel_quorum=0.5
+    )
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestManagerAssignment:
+    def test_each_node_gets_m_managers(self):
+        assignment = ManagerAssignment(range(30), managers=5, seed=1)
+        for node in range(30):
+            managers = assignment.managers_of(node)
+            assert len(managers) == 5
+            assert len(set(managers)) == 5
+
+    def test_never_own_manager(self):
+        assignment = ManagerAssignment(range(30), managers=5, seed=1)
+        for node in range(30):
+            assert node not in assignment.managers_of(node)
+
+    def test_deterministic_from_seed(self):
+        a = ManagerAssignment(range(30), 5, seed=9)
+        b = ManagerAssignment(range(30), 5, seed=9)
+        assert all(a.managers_of(n) == b.managers_of(n) for n in range(30))
+        c = ManagerAssignment(range(30), 5, seed=10)
+        assert any(a.managers_of(n) != c.managers_of(n) for n in range(30))
+
+    def test_reverse_index(self):
+        assignment = ManagerAssignment(range(20), 4, seed=2)
+        for node in range(20):
+            for manager in assignment.managers_of(node):
+                assert node in assignment.managed_by(manager)
+                assert assignment.is_manager_of(manager, node)
+
+    def test_managers_clamped_to_population(self):
+        assignment = ManagerAssignment(range(4), managers=10, seed=0)
+        assert assignment.managers_per_node == 3
+
+    def test_unknown_node_empty(self):
+        assignment = ManagerAssignment(range(4), 2, seed=0)
+        assert assignment.managers_of(99) == ()
+
+
+class TestCompensation:
+    def test_matches_closed_form(self, params):
+        gossip, lifting = params
+        expected = expected_blame_honest(
+            gossip.fanout, gossip.request_size, lifting.p_reception, lifting.p_dcc
+        )
+        assert compensation_per_period(gossip, lifting) == pytest.approx(expected)
+
+    def test_paper_value_at_analysis_params(self):
+        from repro.config import analysis_params
+
+        gossip, lifting = analysis_params()
+        assert compensation_per_period(gossip, lifting) == pytest.approx(72.95, abs=0.01)
+
+
+def make_manager(params, owner, clock, compensation=None):
+    gossip, lifting = params
+    assignment = ManagerAssignment(range(20), lifting.managers, seed=3)
+    manager = ReputationManager(
+        owner=owner,
+        assignment=assignment,
+        gossip=gossip,
+        lifting=lifting,
+        now=clock,
+        compensation=compensation,
+    )
+    return manager, assignment
+
+
+class TestScoring:
+    def test_unmanaged_target_returns_none(self, params):
+        clock = FakeClock()
+        manager, assignment = make_manager(params, owner=0, clock=clock)
+        outsider = next(
+            n for n in range(20) if not assignment.is_manager_of(0, n)
+        )
+        assert manager.normalized_score(outsider) is None
+
+    def test_score_is_compensation_minus_rate(self, params):
+        clock = FakeClock()
+        manager, assignment = make_manager(params, 0, clock, compensation=10.0)
+        target = assignment.managed_by(0)[0]
+        clock.now = 5.0  # 10 periods at T_g = 0.5
+        manager.on_blame(target, 40.0)
+        assert manager.normalized_score(target) == pytest.approx(10.0 - 40.0 / 10.0)
+
+    def test_honest_blame_rate_scores_zero(self, params):
+        clock = FakeClock()
+        manager, assignment = make_manager(params, 0, clock, compensation=16.0)
+        target = assignment.managed_by(0)[0]
+        clock.now = 10.0  # 20 periods
+        manager.on_blame(target, 16.0 * 20)
+        assert manager.normalized_score(target) == pytest.approx(0.0)
+
+    def test_negative_blame_is_credit(self, params):
+        clock = FakeClock()
+        manager, assignment = make_manager(params, 0, clock, compensation=0.0)
+        target = assignment.managed_by(0)[0]
+        clock.now = 1.0
+        manager.on_blame(target, 10.0)
+        manager.on_blame(target, -10.0)
+        assert manager.normalized_score(target) == pytest.approx(0.0)
+
+    def test_blame_for_unmanaged_dropped(self, params):
+        clock = FakeClock()
+        manager, assignment = make_manager(params, 0, clock)
+        outsider = next(n for n in range(20) if not assignment.is_manager_of(0, n))
+        manager.on_blame(outsider, 100.0)  # silently ignored
+        assert manager.normalized_score(outsider) is None
+
+
+class TestExpulsionVoting:
+    def _setup(self, params):
+        clock = FakeClock()
+        manager, assignment = make_manager(params, 0, clock, compensation=0.0)
+        target = assignment.managed_by(0)[0]
+        return clock, manager, assignment, target
+
+    def test_no_vote_during_grace_period(self, params):
+        clock, manager, _assignment, target = self._setup(params)
+        clock.now = 1.0  # 2 periods < min_periods_before_expel=5
+        manager.on_blame(target, 1000.0)
+        assert manager.expulsion_candidates() == []
+
+    def test_vote_after_grace_when_below_eta(self, params):
+        clock, manager, _assignment, target = self._setup(params)
+        clock.now = 5.0  # 10 periods
+        manager.on_blame(target, 1000.0)  # score = -100 < -9.75
+        assert manager.expulsion_candidates() == [target]
+
+    def test_votes_only_once(self, params):
+        clock, manager, _assignment, target = self._setup(params)
+        clock.now = 5.0
+        manager.on_blame(target, 1000.0)
+        assert manager.expulsion_candidates() == [target]
+        assert manager.expulsion_candidates() == []
+
+    def test_quorum(self, params):
+        clock, manager, _assignment, target = self._setup(params)
+        # managers=4, quorum=0.5 -> 2 votes needed.
+        assert manager.on_expel_vote(7, target) is False
+        assert manager.on_expel_vote(8, target) is True
+        # Further votes after expulsion don't re-trigger.
+        assert manager.on_expel_vote(9, target) is False
+
+    def test_duplicate_votes_not_counted(self, params):
+        clock, manager, _assignment, target = self._setup(params)
+        assert manager.on_expel_vote(7, target) is False
+        assert manager.on_expel_vote(7, target) is False
+
+    def test_mark_expelled_stops_candidates(self, params):
+        clock, manager, _assignment, target = self._setup(params)
+        clock.now = 5.0
+        manager.on_blame(target, 1000.0)
+        manager.mark_expelled(target)
+        assert manager.expulsion_candidates() == []
+
+
+class TestScoreBoard:
+    def test_min_vote(self, params):
+        gossip, lifting = params
+        clock = FakeClock()
+        assignment = ManagerAssignment(range(20), lifting.managers, seed=3)
+        target = 5
+        managers = {}
+        for i, manager_id in enumerate(assignment.managers_of(target)):
+            manager = ReputationManager(
+                owner=manager_id,
+                assignment=assignment,
+                gossip=gossip,
+                lifting=lifting,
+                now=clock,
+                compensation=0.0,
+            )
+            managers[manager_id] = manager
+        clock.now = 1.0  # 2 periods
+        # One manager received more blames (e.g. others' copies lost).
+        blame_values = [2.0, 2.0, 8.0, 2.0]
+        for value, manager in zip(blame_values, managers.values()):
+            manager.on_blame(target, value)
+        board = ScoreBoard(managers)
+        assert board.score(target, assignment) == pytest.approx(-8.0 / 2.0)
+
+    def test_missing_managers_skipped(self, params):
+        gossip, lifting = params
+        assignment = ManagerAssignment(range(20), lifting.managers, seed=3)
+        board = ScoreBoard({})
+        assert board.score(5, assignment) is None
+        assert board.scores([5, 6], assignment) == {}

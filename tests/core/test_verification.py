@@ -1,0 +1,188 @@
+"""Unit tests for the verification engine (§5.2) against a fake host."""
+
+import pytest
+
+from repro.core.blames import (
+    REASON_FANOUT_DECREASE,
+    REASON_INVALID_PROPOSAL,
+    REASON_NO_ACK,
+    REASON_PARTIAL_SERVE,
+    REASON_WITNESS_CONTRADICTION,
+)
+from repro.core.verification import VerificationEngine
+from repro.wire import Ack, Confirm, ConfirmResponse
+
+
+@pytest.fixture
+def engine(fake_host):
+    fake_host.forced_random = 0.0  # always trigger cross-checks
+    return VerificationEngine(fake_host)
+
+
+FANOUT = 4  # from the fake host's gossip params
+
+
+def full_partners():
+    return tuple(range(10, 10 + FANOUT))
+
+
+class TestAckHappyPath:
+    def test_complete_ack_no_blame(self, engine, fake_host):
+        engine.on_serve_sent(requester=5, chunk_id=1)
+        engine.on_serve_sent(requester=5, chunk_id=2)
+        fake_host.sim.run(until=0.6)
+        engine.on_ack(5, Ack(chunk_ids=(1, 2), partners=full_partners()))
+        assert fake_host.blames == []
+
+    def test_cross_check_sends_confirms_to_all_witnesses(self, engine, fake_host):
+        engine.on_serve_sent(5, 1)
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=full_partners()))
+        confirms = [m for _d, m, _r in fake_host.sent if isinstance(m, Confirm)]
+        assert len(confirms) == FANOUT
+        assert all(c.proposer == 5 for c in confirms)
+
+    def test_all_valid_responses_no_blame(self, engine, fake_host):
+        engine.on_serve_sent(5, 1)
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=full_partners()))
+        for witness in full_partners():
+            engine.on_confirm_response(witness, ConfirmResponse(proposer=5, valid=True))
+        fake_host.sim.run()  # fire the confirm timeout
+        assert fake_host.blames == []
+
+
+class TestAckViolations:
+    def test_fanout_decrease_blamed_f_minus_fhat(self, engine, fake_host):
+        engine.on_serve_sent(5, 1)
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=(10, 11)))  # f̂=2 < f=4
+        assert (5, 2.0, REASON_FANOUT_DECREASE) in fake_host.blames
+
+    def test_missing_ack_blamed_f_after_timeout(self, engine, fake_host):
+        engine.on_serve_sent(5, 1)
+        fake_host.sim.run(until=fake_host.lifting.ack_timeout + 0.1)
+        engine.on_period_tick()
+        assert (5, float(FANOUT), REASON_NO_ACK) in fake_host.blames
+
+    def test_no_double_blame_after_sweep(self, engine, fake_host):
+        engine.on_serve_sent(5, 1)
+        fake_host.sim.run(until=fake_host.lifting.ack_timeout + 0.1)
+        engine.on_period_tick()
+        engine.on_period_tick()
+        no_acks = [b for b in fake_host.blames if b[2] == REASON_NO_ACK]
+        assert len(no_acks) == 1
+
+    def test_ack_omitting_overdue_chunks_is_invalid_proposal(self, engine, fake_host):
+        engine.on_serve_sent(5, 1)
+        engine.on_serve_sent(5, 2)
+        fake_host.sim.run(until=fake_host.gossip.gossip_period + 0.05)
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=full_partners()))
+        invalid = [b for b in fake_host.blames if b[2] == REASON_INVALID_PROPOSAL]
+        assert len(invalid) == 1
+        assert invalid[0][1] == float(FANOUT)
+
+    def test_fresh_chunks_not_counted_invalid(self, engine, fake_host):
+        # A chunk served moments before the ack may legitimately belong to
+        # the next propose phase — no blame yet.
+        engine.on_serve_sent(5, 1)
+        fake_host.sim.run(until=0.1)
+        engine.on_serve_sent(5, 2)  # just served
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=full_partners()))
+        assert all(b[2] != REASON_INVALID_PROPOSAL for b in fake_host.blames)
+
+    def test_contradicting_witnesses_blamed_one_each(self, engine, fake_host):
+        engine.on_serve_sent(5, 1)
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=full_partners()))
+        witnesses = full_partners()
+        engine.on_confirm_response(witnesses[0], ConfirmResponse(5, True))
+        engine.on_confirm_response(witnesses[1], ConfirmResponse(5, False))
+        # witnesses[2], witnesses[3] never answer.
+        fake_host.sim.run()
+        contradictions = [
+            b for b in fake_host.blames if b[2] == REASON_WITNESS_CONTRADICTION
+        ]
+        assert contradictions == [(5, 3.0, REASON_WITNESS_CONTRADICTION)]
+
+    def test_pdcc_zero_skips_cross_check(self, fake_host):
+        fake_host.forced_random = 0.99  # above any p_dcc < 1
+        from dataclasses import replace
+
+        fake_host.lifting = replace(fake_host.lifting, p_dcc=0.0)
+        engine = VerificationEngine(fake_host)
+        engine.on_serve_sent(5, 1)
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=full_partners()))
+        assert not any(isinstance(m, Confirm) for _d, m, _r in fake_host.sent)
+
+    def test_fanout_check_still_runs_without_cross_check(self, fake_host):
+        from dataclasses import replace
+
+        fake_host.forced_random = 0.99
+        fake_host.lifting = replace(fake_host.lifting, p_dcc=0.0)
+        engine = VerificationEngine(fake_host)
+        engine.on_serve_sent(5, 1)
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=(10,)))
+        assert (5, 3.0, REASON_FANOUT_DECREASE) in fake_host.blames
+
+
+class TestDirectVerification:
+    def test_all_chunks_served_no_blame(self, engine, fake_host):
+        engine.on_request_sent(proposer=7, proposal_id=42, chunk_ids=(1, 2, 3))
+        for c in (1, 2, 3):
+            engine.on_serve_received(42, c)
+        fake_host.sim.run()
+        assert fake_host.blames == []
+
+    def test_partial_serve_blame_value(self, engine, fake_host):
+        engine.on_request_sent(7, 42, (1, 2, 3, 4))
+        engine.on_serve_received(42, 1)
+        fake_host.sim.run()
+        assert (7, pytest.approx(FANOUT * 3 / 4), REASON_PARTIAL_SERVE) in [
+            (t, v, r) for t, v, r in fake_host.blames
+        ]
+
+    def test_fully_ignored_request_blamed_f(self, engine, fake_host):
+        engine.on_request_sent(7, 42, (1, 2))
+        fake_host.sim.run()
+        assert (7, float(FANOUT), REASON_PARTIAL_SERVE) in fake_host.blames
+
+    def test_missing_chunks_reported_for_retry(self, engine, fake_host):
+        engine.on_request_sent(7, 42, (1, 2, 3))
+        engine.on_serve_received(42, 2)
+        fake_host.sim.run()
+        assert fake_host.expired == [(7, {1, 3})]
+
+    def test_empty_request_ignored(self, engine, fake_host):
+        engine.on_request_sent(7, 42, ())
+        fake_host.sim.run()
+        assert fake_host.blames == []
+
+    def test_serve_for_unknown_proposal_ignored(self, engine):
+        engine.on_serve_received(999, 1)  # must not raise
+
+
+class TestBookkeeping:
+    def test_counters(self, engine, fake_host):
+        engine.on_serve_sent(5, 1)
+        assert engine.pending_ack_count == 1
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=full_partners()))
+        assert engine.pending_ack_count == 0
+        assert engine.open_confirm_rounds == 1
+        fake_host.sim.run()
+        assert engine.open_confirm_rounds == 0
+
+    def test_blames_by_reason_accumulates(self, engine, fake_host):
+        engine.on_request_sent(7, 42, (1,))
+        fake_host.sim.run()
+        assert engine.blames_by_reason[REASON_PARTIAL_SERVE] == float(FANOUT)
+
+    def test_concurrent_confirm_rounds_same_proposer(self, engine, fake_host):
+        # Two acks from the same proposer in flight: responses must be
+        # matched FIFO per (proposer, witness).
+        engine.on_serve_sent(5, 1)
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=(10, 11, 12, 13)))
+        engine.on_serve_sent(5, 2)
+        engine.on_ack(5, Ack(chunk_ids=(2,), partners=(10, 11, 12, 13)))
+        assert engine.open_confirm_rounds == 2
+        for witness in (10, 11, 12, 13):
+            engine.on_confirm_response(witness, ConfirmResponse(5, True))
+            engine.on_confirm_response(witness, ConfirmResponse(5, True))
+        fake_host.sim.run()
+        assert fake_host.blames == []

@@ -1,0 +1,241 @@
+"""End-to-end integration: freeriders, colluders, audits, expulsion."""
+
+import numpy as np
+import pytest
+
+from repro.config import FreeriderDegree
+
+
+class TestFreeriderDetection:
+    def test_freeriders_score_below_honest(self, small_cluster_factory):
+        cluster = small_cluster_factory(
+            freerider_fraction=0.25,
+            freerider_degree=FreeriderDegree(0.25, 0.3, 0.3),
+            loss_rate=0.02,
+            compensation=0.0,
+        )
+        cluster.run(until=12.0)
+        scores = cluster.scores()
+        honest = [s for n, s in scores.items() if n not in cluster.freerider_ids]
+        freeriders = [s for n, s in scores.items() if n in cluster.freerider_ids]
+        assert np.mean(freeriders) < np.mean(honest) - 2.0
+
+    def test_heavier_freeriding_blamed_more(self, small_cluster_factory):
+        def mean_freerider_score(degree):
+            cluster = small_cluster_factory(
+                freerider_fraction=0.25,
+                freerider_degree=degree,
+                loss_rate=0.0,
+                compensation=0.0,
+            )
+            cluster.run(until=10.0)
+            scores = cluster.scores()
+            return float(
+                np.mean([s for n, s in scores.items() if n in cluster.freerider_ids])
+            )
+
+        mild = mean_freerider_score(FreeriderDegree(0.0, 0.1, 0.1))
+        heavy = mean_freerider_score(FreeriderDegree(0.25, 0.4, 0.4))
+        assert heavy < mild
+
+    def test_detection_report(self, small_cluster_factory):
+        cluster = small_cluster_factory(
+            freerider_fraction=0.25,
+            freerider_degree=FreeriderDegree(0.25, 0.4, 0.4),
+            loss_rate=0.02,
+            compensation=0.0,
+        )
+        cluster.run(until=12.0)
+        honest_scores = [
+            s for n, s in cluster.scores().items() if n not in cluster.freerider_ids
+        ]
+        eta = float(np.percentile(honest_scores, 2)) - 0.5
+        report = cluster.detection(eta=eta)
+        assert report.detection > 0.6
+        assert report.false_positives <= 0.1
+
+
+class TestExpulsion:
+    def test_score_based_expulsion_removes_freeriders(self, small_cluster_factory):
+        cluster = small_cluster_factory(
+            freerider_fraction=0.25,
+            freerider_degree=FreeriderDegree(0.3, 0.5, 0.5),
+            loss_rate=0.0,
+            compensation=0.0,
+            expulsion_enabled=True,
+            eta=-4.0,
+            min_periods_before_expel=8,
+        )
+        cluster.run(until=15.0)
+        expelled = set(cluster.controller.expelled_nodes())
+        assert expelled, "nobody was expelled"
+        # Expulsions should hit freeriders overwhelmingly.
+        wrongful = expelled - cluster.freerider_ids
+        assert len(wrongful) <= max(1, 0.2 * len(expelled))
+
+    def test_observation_mode_records_without_enforcing(self, small_cluster_factory):
+        cluster = small_cluster_factory(
+            freerider_fraction=0.25,
+            freerider_degree=FreeriderDegree(0.3, 0.5, 0.5),
+            loss_rate=0.0,
+            compensation=0.0,
+            expulsion_enabled=False,
+            eta=-4.0,
+            min_periods_before_expel=8,
+        )
+        cluster.run(until=15.0)
+        assert cluster.controller.expelled_nodes()  # recorded
+        for node_id in cluster.controller.expelled_nodes():
+            assert cluster.network.is_connected(node_id)  # not enforced
+
+    def test_expelled_nodes_stop_receiving_stream(self, small_cluster_factory):
+        cluster = small_cluster_factory(
+            freerider_fraction=0.25,
+            freerider_degree=FreeriderDegree(0.3, 0.5, 0.5),
+            loss_rate=0.0,
+            compensation=0.0,
+            expulsion_enabled=True,
+            eta=-4.0,
+            min_periods_before_expel=8,
+        )
+        cluster.run(until=20.0)
+        records = cluster.controller.records
+        assert records
+        node_id, record = next(iter(records.items()))
+        node = cluster.nodes[node_id]
+        late_chunks = [
+            c.chunk_id
+            for c in cluster.source.chunks
+            if c.created_at > record.time + 2.0
+        ]
+        owned_late = sum(1 for c in late_chunks if c in node.store)
+        assert owned_late <= 0.1 * max(1, len(late_chunks))
+
+
+class TestAudits:
+    def test_audit_of_honest_node_passes(self, small_cluster_factory):
+        cluster = small_cluster_factory(loss_rate=0.0, gamma=3.0)
+        cluster.run(until=8.0)
+        auditor = cluster.nodes[0]
+        target = 5
+        results = []
+        auditor.auditor.start(target, on_complete=results.append)
+        cluster.sim.run(until=cluster.sim.now + 15.0)
+        assert results, "audit did not complete"
+        assert results[0].passed, (
+            f"honest node failed audit: fanout H={results[0].fanout_entropy:.2f} "
+            f"fanin H={results[0].fanin_entropy:.2f} "
+            f"periods={results[0].proposal_count}"
+        )
+
+    def test_audit_detects_biased_colluders(self, small_cluster_factory):
+        cluster = small_cluster_factory(
+            freerider_fraction=0.3,
+            freerider_degree=FreeriderDegree(0, 0, 0),
+            colluding=True,
+            collusion_bias=0.95,
+            loss_rate=0.0,
+            gamma=3.0,
+        )
+        cluster.run(until=8.0)
+        honest_auditor = next(
+            nid for nid in cluster.node_ids if nid not in cluster.freerider_ids
+        )
+        target = next(iter(cluster.freerider_ids))
+        results = []
+        cluster.nodes[honest_auditor].auditor.start(target, on_complete=results.append)
+        cluster.sim.run(until=cluster.sim.now + 15.0)
+        assert results
+        assert not results[0].passed_fanout
+        assert not results[0].passed
+
+    def test_audit_detects_mitm_via_fanin(self, small_cluster_factory):
+        # MITM colluders pass direct cross-checks but their confirm
+        # senders concentrate on the coalition (§5.3).
+        cluster = small_cluster_factory(
+            freerider_fraction=0.3,
+            freerider_degree=FreeriderDegree(0, 0, 0),
+            colluding=True,
+            collusion_bias=0.0,  # partner selection looks uniform
+            man_in_the_middle=True,
+            loss_rate=0.0,
+            gamma=3.0,
+        )
+        cluster.run(until=8.0)
+        honest_auditor = next(
+            nid for nid in cluster.node_ids if nid not in cluster.freerider_ids
+        )
+        target = next(iter(cluster.freerider_ids))
+        results = []
+        cluster.nodes[honest_auditor].auditor.start(target, on_complete=results.append)
+        cluster.sim.run(until=cluster.sim.now + 15.0)
+        assert results
+        result = results[0]
+        assert not result.passed_fanin or result.unacknowledged > 0 or not result.passed
+
+    def test_forged_history_draws_blames(self, small_cluster_factory):
+        # Forging honest names into the history: the alleged receivers
+        # deny, so unacknowledged blames pile up (§5.3).
+        cluster = small_cluster_factory(
+            freerider_fraction=0.3,
+            freerider_degree=FreeriderDegree(0, 0, 0),
+            colluding=True,
+            collusion_bias=0.9,
+            forge_history=True,
+            loss_rate=0.0,
+            gamma=3.0,
+        )
+        cluster.run(until=8.0)
+        honest_auditor = next(
+            nid for nid in cluster.node_ids if nid not in cluster.freerider_ids
+        )
+        target = next(iter(cluster.freerider_ids))
+        results = []
+        cluster.nodes[honest_auditor].auditor.start(target, on_complete=results.append)
+        cluster.sim.run(until=cluster.sim.now + 15.0)
+        assert results
+        # Forged partners were never really proposed to.
+        assert results[0].unacknowledged > 0.3 * results[0].polled_entries
+
+
+class TestColluderCoverUps:
+    def test_cover_up_reduces_coalition_blames(self, small_cluster_factory):
+        def freerider_blame_mean(colluding):
+            cluster = small_cluster_factory(
+                freerider_fraction=0.3,
+                freerider_degree=FreeriderDegree(0.2, 0.4, 0.4),
+                colluding=colluding,
+                collusion_bias=0.8 if colluding else 0.0,
+                loss_rate=0.0,
+                compensation=0.0,
+            )
+            cluster.run(until=10.0)
+            scores = cluster.scores()
+            return float(
+                np.mean([s for n, s in scores.items() if n in cluster.freerider_ids])
+            )
+
+        independent = freerider_blame_mean(colluding=False)
+        covered = freerider_blame_mean(colluding=True)
+        # Coalition members serve mostly each other and cover each other
+        # up, so direct verification blames them far less.
+        assert covered > independent
+
+
+class TestDegradedNodes:
+    def test_degraded_nodes_blamed_more(self, small_cluster_factory):
+        cluster = small_cluster_factory(
+            degraded_fraction=0.2,
+            degraded_loss=0.25,
+            loss_rate=0.01,
+            compensation=0.0,
+        )
+        cluster.run(until=10.0)
+        scores = cluster.scores()
+        degraded = [s for n, s in scores.items() if n in cluster.degraded_ids]
+        healthy = [
+            s
+            for n, s in scores.items()
+            if n not in cluster.degraded_ids and n not in cluster.freerider_ids
+        ]
+        assert np.mean(degraded) < np.mean(healthy)

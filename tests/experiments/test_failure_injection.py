@@ -1,0 +1,120 @@
+"""Failure-injection tests: the system must degrade gracefully."""
+
+import numpy as np
+import pytest
+
+from repro.config import FreeriderDegree
+
+
+class TestHeavyLoss:
+    def test_dissemination_survives_15_percent_loss(self, small_cluster_factory):
+        cluster = small_cluster_factory(loss_rate=0.15)
+        cluster.run(until=10.0)
+        early = [c.chunk_id for c in cluster.source.chunks if c.created_at < 4.0]
+        ratios = [
+            sum(1 for c in early if c in node.store) / len(early)
+            for node in cluster.nodes.values()
+        ]
+        assert float(np.mean(ratios)) > 0.75
+
+    def test_min_vote_reads_survive_blame_message_loss(self, small_cluster_factory):
+        # With lossy UDP the managers' copies diverge; min-vote reads the
+        # most-blamed copy, so scores remain defined and finite.
+        cluster = small_cluster_factory(loss_rate=0.12, compensation=0.0)
+        cluster.run(until=10.0)
+        scores = cluster.scores()
+        assert len(scores) == len(cluster.node_ids)
+        assert all(np.isfinite(s) for s in scores.values())
+
+    def test_detection_still_works_under_heavy_loss(self, small_cluster_factory):
+        cluster = small_cluster_factory(
+            loss_rate=0.12,
+            compensation=0.0,
+            freerider_fraction=0.25,
+            freerider_degree=FreeriderDegree(0.3, 0.5, 0.5),
+        )
+        cluster.run(until=12.0)
+        scores = cluster.scores()
+        honest = [s for n, s in scores.items() if n not in cluster.freerider_ids]
+        freeriders = [s for n, s in scores.items() if n in cluster.freerider_ids]
+        assert np.mean(freeriders) < np.mean(honest)
+
+
+class TestExpelledNodeContainment:
+    def test_expelled_node_cannot_blame(self, small_cluster_factory):
+        # Expulsion must be *enforced* for containment to apply.
+        cluster = small_cluster_factory(
+            loss_rate=0.0, compensation=0.0, expulsion_enabled=True
+        )
+        cluster.run(until=4.0)
+        victim = 7
+        attacker = 3
+        cluster.controller.expel(attacker, "test")
+        # The attacker's blames no longer reach managers.
+        before = cluster.scoreboard.score(victim, cluster.assignment)
+        node = cluster.nodes[attacker]
+        for _ in range(50):
+            node.send_blame(victim, 10.0, "spite")
+        node._flush_blames()
+        cluster.sim.run(until=cluster.sim.now + 2.0)
+        after = cluster.scoreboard.score(victim, cluster.assignment)
+        # Only the attacker's own-manager copy (if any) could move; the
+        # min-vote may shift only if the attacker manages the victim.
+        if attacker not in cluster.assignment.managers_of(victim):
+            assert after == pytest.approx(before, abs=1e-6)
+
+    def test_expelled_auditors_verdicts_are_void(self, small_cluster_factory):
+        cluster = small_cluster_factory(loss_rate=0.0, expulsion_enabled=True)
+        cluster.run(until=6.0)
+        auditor_id, target_id = 0, 5
+        cluster.nodes[auditor_id].auditor.start(target_id)
+        cluster.controller.expel(auditor_id, "test")
+        # The audit times out (the target's TCP response is dropped at the
+        # expelled auditor) and must NOT expel the innocent target.
+        cluster.sim.run(until=cluster.sim.now + 15.0)
+        assert not cluster.controller.is_expelled(target_id)
+
+
+class TestSlowNodes:
+    def test_bandwidth_starved_node_lags_but_system_healthy(self, small_cluster_factory):
+        cluster = small_cluster_factory(
+            loss_rate=0.02,
+            degraded_fraction=0.15,
+            degraded_loss=0.0,
+            degraded_upload=8_000.0,  # ~64 kbps uplink
+        )
+        cluster.run(until=10.0)
+        early = [c.chunk_id for c in cluster.source.chunks if c.created_at < 4.0]
+        healthy = [
+            nid
+            for nid in cluster.node_ids
+            if nid not in cluster.degraded_ids
+        ]
+        ratios = [
+            sum(1 for c in early if c in cluster.nodes[nid].store) / len(early)
+            for nid in healthy
+        ]
+        assert float(np.mean(ratios)) > 0.9
+
+    def test_starved_nodes_accumulate_more_blame(self, small_cluster_factory):
+        # PlanetLab-grade poor nodes are lossy *and* bandwidth-starved
+        # (the Figure 14 model); bandwidth alone mostly delays their
+        # witness answers, which blames their *proposers* instead.
+        cluster = small_cluster_factory(
+            loss_rate=0.02,
+            compensation=0.0,
+            degraded_fraction=0.15,
+            degraded_loss=0.12,
+            degraded_upload=40_000.0,
+        )
+        cluster.run(until=12.0)
+        scores = cluster.scores()
+        starved = [s for n, s in scores.items() if n in cluster.degraded_ids]
+        healthy = [
+            s
+            for n, s in scores.items()
+            if n not in cluster.degraded_ids and n not in cluster.freerider_ids
+        ]
+        # Paper §7.3: poor-capability nodes cannot contribute their fair
+        # share and are blamed like freeriders.
+        assert np.mean(starved) < np.mean(healthy)

@@ -1,0 +1,136 @@
+"""Tests for the bounded local history log."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gossip.history import LocalHistory
+
+
+@pytest.fixture
+def history():
+    h = LocalHistory(max_periods=5)
+    h.begin_period(1)
+    return h
+
+
+class TestRecording:
+    def test_requires_open_period(self):
+        h = LocalHistory(5)
+        with pytest.raises(ValueError):
+            h.record_fanin(3)
+
+    def test_proposal(self, history):
+        history.record_proposal((1, 2, 3), (10, 11))
+        records = history.records()
+        assert records[-1].proposal == ((1, 2, 3), (10, 11))
+
+    def test_fanin(self, history):
+        history.record_fanin(7)
+        history.record_fanin(7)
+        assert history.fanin_multiset().count(7) == 2
+
+    def test_received_proposals_accumulate(self, history):
+        history.record_received_proposal(4, (1, 2))
+        history.record_received_proposal(4, (3,))
+        assert history.was_proposed_by(4, (1, 2, 3))
+
+    def test_confirm_senders(self, history):
+        history.record_confirm_sender(proposer=9, verifier=2)
+        history.record_confirm_sender(proposer=9, verifier=3)
+        assert history.confirm_senders_about(9) == [2, 3]
+        assert history.confirm_senders_about(8) == []
+
+
+class TestBounding:
+    def test_ring_evicts_old_periods(self):
+        h = LocalHistory(max_periods=3)
+        for period in range(1, 10):
+            h.begin_period(period)
+            h.record_proposal((period,), (period,))
+        records = h.records()
+        assert len(records) == 3
+        assert [r.period for r in records] == [7, 8, 9]
+
+    def test_window_query(self):
+        h = LocalHistory(max_periods=10)
+        for period in range(1, 8):
+            h.begin_period(period)
+            h.record_proposal((period,), ())
+        assert [r.period for r in h.records(last=2)] == [6, 7]
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_memory_bound_invariant(self, periods):
+        h = LocalHistory(max_periods=4)
+        for p in range(periods):
+            h.begin_period(p)
+        assert len(h) == min(4, periods)
+
+
+class TestMultisets:
+    def test_fanout_multiset_counts_partners(self):
+        h = LocalHistory(10)
+        h.begin_period(1)
+        h.record_proposal((1, 2), (100,))
+        h.begin_period(2)
+        h.record_proposal((2, 3), (101,))
+        fanout = h.fanout_multiset()
+        assert fanout.count(2) == 2
+        assert fanout.count(1) == fanout.count(3) == 1
+        assert len(fanout) == 4
+
+    def test_fanout_window(self):
+        h = LocalHistory(10)
+        for p in range(1, 6):
+            h.begin_period(p)
+            h.record_proposal((p,), ())
+        assert sorted(h.fanout_multiset(last=2).elements()) == [4, 5]
+
+    def test_proposal_count_detects_stretched_period(self):
+        # A node that proposes every other period has half the proposals
+        # — §5.3's gossip-period check.
+        h = LocalHistory(20)
+        for p in range(1, 11):
+            h.begin_period(p)
+            if p % 2 == 0:
+                h.record_proposal((p,), (p,))
+        assert h.proposal_count() == 5
+        assert h.proposal_count(last=4) == 2
+
+
+class TestWitnessQueries:
+    def test_was_proposed_by_requires_all_chunks(self, history):
+        history.record_received_proposal(4, (1, 2))
+        assert history.was_proposed_by(4, (1,))
+        assert not history.was_proposed_by(4, (1, 3))
+
+    def test_was_proposed_by_window(self):
+        h = LocalHistory(10)
+        h.begin_period(1)
+        h.record_received_proposal(4, (1,))
+        for p in range(2, 6):
+            h.begin_period(p)
+        assert h.was_proposed_by(4, (1,))
+        assert not h.was_proposed_by(4, (1,), last=2)
+
+    def test_received_any_proposal_from(self, history):
+        history.record_received_proposal(4, (1,))
+        assert history.received_any_proposal_from(4)
+        assert not history.received_any_proposal_from(5)
+
+
+class TestSnapshot:
+    def test_snapshot_form(self):
+        h = LocalHistory(10)
+        h.begin_period(1)
+        h.record_proposal((1, 2), (5,))
+        h.begin_period(2)  # no proposal this period
+        h.begin_period(3)
+        h.record_proposal((3,), (6,))
+        snapshot = h.proposals_snapshot()
+        assert snapshot == ((1, (1, 2), (5,)), (3, (3,), (6,)))
+
+    def test_current_period(self):
+        h = LocalHistory(5)
+        assert h.current_period is None
+        h.begin_period(9)
+        assert h.current_period == 9

@@ -1,0 +1,189 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_later(2.0, lambda: order.append("b"))
+        sim.call_later(1.0, lambda: order.append("a"))
+        sim.call_later(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.call_at(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.call_later(4.5, lambda: None)
+        sim.run()
+        assert sim.now == 4.5
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.call_at(9.0, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.call_later(-1.0, lambda: None)
+
+    def test_rejects_infinite_time(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.call_at(float("inf"), lambda: None)
+
+    def test_events_scheduled_during_execution_run(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.call_later(1.0, lambda: order.append("nested"))
+
+        sim.call_later(1.0, first)
+        sim.run()
+        assert order == ["first", "nested"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.call_later(1.0, lambda: fired.append(1))
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.active
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        timer = sim.call_later(1.0, lambda: None)
+        sim.run()
+        timer.cancel()
+        assert timer.fired
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        t1 = sim.call_later(1.0, lambda: None)
+        sim.call_later(2.0, lambda: None)
+        t1.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunUntil:
+    def test_stops_at_until(self):
+        sim = Simulator()
+        fired = []
+        sim.call_later(1.0, lambda: fired.append(1))
+        sim.call_later(5.0, lambda: fired.append(5))
+        sim.run(until=3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.call_later(5.0, lambda: fired.append(5))
+        sim.run(until=3.0)
+        sim.run(until=10.0)
+        assert fired == [5]
+
+    def test_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.call_later(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_first_at_override(self):
+        sim = Simulator()
+        ticks = []
+        sim.call_every(1.0, lambda: ticks.append(sim.now), first_at=0.25)
+        sim.run(until=2.5)
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        ticks = []
+        timer = sim.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.call_at(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        ticks = []
+        timer = None
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 3:
+                timer.stop()
+
+        timer = sim.call_every(1.0, tick)
+        sim.run(until=100.0)
+        assert len(ticks) == 3
+
+    def test_jitter_applied(self):
+        sim = Simulator()
+        ticks = []
+        sim.call_every(1.0, lambda: ticks.append(sim.now), jitter=lambda: 0.1)
+        sim.run(until=3.5)
+        assert ticks == pytest.approx([1.0, 2.1, 3.2])
+
+    def test_non_positive_jittered_delay_falls_back(self):
+        sim = Simulator()
+        ticks = []
+        sim.call_every(1.0, lambda: ticks.append(sim.now), jitter=lambda: -5.0)
+        sim.run(until=3.5)
+        assert len(ticks) == 3  # falls back to the nominal interval
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+    def test_event_order_is_reproducible(self, delays):
+        def run():
+            sim = Simulator()
+            order = []
+            for i, delay in enumerate(delays):
+                sim.call_later(delay, lambda i=i: order.append(i))
+            sim.run()
+            return order
+
+        assert run() == run()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.call_later(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

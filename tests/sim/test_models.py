@@ -1,0 +1,121 @@
+"""Tests for latency, loss and bandwidth models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.bandwidth import UploadLink, kbps
+from repro.sim.latency import (
+    ConstantLatency,
+    LogNormalLatency,
+    PerNodeLatency,
+    UniformLatency,
+)
+from repro.sim.loss import BernoulliLoss, NoLoss, PerNodeLoss
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(0.05)
+        assert model.sample(0, 1) == 0.05
+
+    def test_uniform_within_bounds(self, rng):
+        model = UniformLatency(rng, 0.02, 0.12)
+        samples = [model.sample(0, 1) for _ in range(500)]
+        assert all(0.02 <= s <= 0.12 for s in samples)
+
+    def test_uniform_rejects_inverted_bounds(self, rng):
+        with pytest.raises(ValueError):
+            UniformLatency(rng, 0.2, 0.1)
+
+    def test_lognormal_capped(self, rng):
+        model = LogNormalLatency(rng, median=0.05, sigma=2.0, cap=0.3)
+        samples = [model.sample(0, 1) for _ in range(1000)]
+        assert max(samples) <= 0.3
+        assert min(samples) > 0
+
+    def test_lognormal_median_roughly_respected(self, rng):
+        model = LogNormalLatency(rng, median=0.05, sigma=0.5, cap=10.0)
+        samples = np.array([model.sample(0, 1) for _ in range(4000)])
+        assert np.median(samples) == pytest.approx(0.05, rel=0.15)
+
+    def test_per_node_adds_access_delay(self):
+        model = PerNodeLatency(ConstantLatency(0.05), {1: 0.1})
+        assert model.sample(0, 1) == pytest.approx(0.15)
+        assert model.sample(1, 2) == pytest.approx(0.15)
+        assert model.sample(0, 2) == pytest.approx(0.05)
+        model.set_access_delay(2, 0.2)
+        assert model.sample(1, 2) == pytest.approx(0.35)
+
+
+class TestLossModels:
+    def test_no_loss(self):
+        assert not NoLoss().is_lost(0, 1)
+
+    def test_bernoulli_extremes(self, rng):
+        assert not BernoulliLoss(rng, 0.0).is_lost(0, 1)
+        assert BernoulliLoss(rng, 1.0).is_lost(0, 1)
+
+    def test_bernoulli_rate(self, rng):
+        model = BernoulliLoss(rng, 0.2)
+        losses = sum(model.is_lost(0, 1) for _ in range(20000))
+        assert losses / 20000 == pytest.approx(0.2, abs=0.02)
+
+    def test_bernoulli_rejects_bad_probability(self, rng):
+        with pytest.raises(ValueError):
+            BernoulliLoss(rng, 1.5)
+
+    def test_per_node_combination(self, rng):
+        model = PerNodeLoss(rng, base=0.1, node_loss={5: 0.2})
+        assert model.loss_probability(0, 1) == pytest.approx(0.1)
+        assert model.loss_probability(0, 5) == pytest.approx(1 - 0.9 * 0.8)
+        assert model.loss_probability(5, 5) == pytest.approx(1 - 0.9 * 0.8 * 0.8)
+
+    def test_per_node_observed_rate(self, rng):
+        model = PerNodeLoss(rng, base=0.0, node_loss={1: 0.3})
+        losses = sum(model.is_lost(0, 1) for _ in range(20000))
+        assert losses / 20000 == pytest.approx(0.3, abs=0.02)
+
+
+class TestUploadLink:
+    def test_infinite_rate_no_delay(self):
+        link = UploadLink()
+        assert link.transmit(now=1.0, size_bytes=10_000) == 1.0
+
+    def test_serialisation_delay(self):
+        link = UploadLink(1000.0)
+        assert link.transmit(now=0.0, size_bytes=500) == pytest.approx(0.5)
+
+    def test_queueing(self):
+        link = UploadLink(1000.0)
+        link.transmit(now=0.0, size_bytes=1000)  # busy until 1.0
+        assert link.transmit(now=0.5, size_bytes=500) == pytest.approx(1.5)
+        assert link.queueing_delay(0.9) == pytest.approx(0.6)
+
+    def test_idle_gap_resets_start(self):
+        link = UploadLink(1000.0)
+        link.transmit(now=0.0, size_bytes=100)
+        assert link.transmit(now=5.0, size_bytes=100) == pytest.approx(5.1)
+
+    def test_bytes_accounted(self):
+        link = UploadLink(1000.0)
+        link.transmit(0.0, 300)
+        link.transmit(0.0, 200)
+        assert link.bytes_sent == 500
+
+    def test_reset(self):
+        link = UploadLink(1000.0)
+        link.transmit(0.0, 1000)
+        link.reset()
+        assert link.bytes_sent == 0
+        assert link.transmit(0.0, 100) == pytest.approx(0.1)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            UploadLink(1000.0).transmit(0.0, -1)
+
+    def test_kbps_conversion(self):
+        assert kbps(674.0) == pytest.approx(84_250.0)
+        with pytest.raises(ValueError):
+            kbps(-1.0)

@@ -1,0 +1,211 @@
+"""Tests for the simulated network fabric and message tracing."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.loss import BernoulliLoss, NoLoss
+from repro.sim.network import Network, Transport
+from repro.sim.trace import CATEGORY_DATA, CATEGORY_VERIFICATION, MessageTrace
+
+
+@dataclass(frozen=True)
+class DataMsg:
+    CATEGORY = CATEGORY_DATA
+    payload: int = 0
+
+    def wire_size(self) -> int:
+        return 100
+
+
+@dataclass(frozen=True)
+class VerifMsg:
+    CATEGORY = CATEGORY_VERIFICATION
+
+    def wire_size(self) -> int:
+        return 10
+
+
+class Recorder:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((src, message))
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    network = Network(sim, latency=ConstantLatency(0.05), loss=NoLoss())
+    nodes = {i: Recorder(i) for i in range(3)}
+    for node in nodes.values():
+        network.register(node)
+    return sim, network, nodes
+
+
+class TestDelivery:
+    def test_udp_delivers_after_latency(self, net):
+        sim, network, nodes = net
+        network.send(0, 1, DataMsg(7))
+        sim.run()
+        assert nodes[1].received == [(0, DataMsg(7))]
+        assert sim.now == pytest.approx(0.05)
+
+    def test_tcp_latency_factor(self, net):
+        sim, network, nodes = net
+        network.send(0, 1, DataMsg(), Transport.TCP)
+        sim.run()
+        assert sim.now == pytest.approx(0.10)
+        assert len(nodes[1].received) == 1
+
+    def test_unknown_destination_is_dropped(self, net):
+        sim, network, nodes = net
+        assert network.send(0, 99, DataMsg()) is False
+
+    def test_unknown_sender_raises(self, net):
+        _sim, network, _nodes = net
+        with pytest.raises(ValueError):
+            network.send(99, 0, DataMsg())
+
+    def test_duplicate_registration_rejected(self, net):
+        _sim, network, _nodes = net
+        with pytest.raises(ValueError):
+            network.register(Recorder(0))
+
+
+class TestLoss:
+    def test_udp_subject_to_loss(self, rng):
+        sim = Simulator()
+        network = Network(sim, latency=ConstantLatency(0.01), loss=BernoulliLoss(rng, 1.0))
+        a, b = Recorder(0), Recorder(1)
+        network.register(a)
+        network.register(b)
+        network.send(0, 1, DataMsg())
+        sim.run()
+        assert b.received == []
+        assert network.trace.lost_count() == 1
+
+    def test_tcp_bypasses_loss(self, rng):
+        sim = Simulator()
+        network = Network(sim, latency=ConstantLatency(0.01), loss=BernoulliLoss(rng, 1.0))
+        a, b = Recorder(0), Recorder(1)
+        network.register(a)
+        network.register(b)
+        network.send(0, 1, DataMsg(), Transport.TCP)
+        sim.run()
+        assert len(b.received) == 1
+
+
+class TestExpulsion:
+    def test_disconnected_cannot_send(self, net):
+        sim, network, nodes = net
+        network.disconnect(0)
+        assert network.send(0, 1, DataMsg()) is False
+        sim.run()
+        assert nodes[1].received == []
+
+    def test_disconnected_cannot_receive(self, net):
+        sim, network, nodes = net
+        network.disconnect(1)
+        network.send(0, 1, DataMsg())
+        sim.run()
+        assert nodes[1].received == []
+
+    def test_in_flight_traffic_discarded_on_expulsion(self, net):
+        sim, network, nodes = net
+        network.send(0, 1, DataMsg())
+        network.disconnect(1)  # before delivery
+        sim.run()
+        assert nodes[1].received == []
+
+    def test_reconnect(self, net):
+        sim, network, nodes = net
+        network.disconnect(1)
+        network.reconnect(1)
+        network.send(0, 1, DataMsg())
+        sim.run()
+        assert len(nodes[1].received) == 1
+
+    def test_is_connected(self, net):
+        _sim, network, _nodes = net
+        assert network.is_connected(0)
+        network.disconnect(0)
+        assert not network.is_connected(0)
+
+
+class TestBandwidthIntegration:
+    def test_upload_rate_delays_delivery(self):
+        sim = Simulator()
+        network = Network(sim, latency=ConstantLatency(0.0))
+        a, b = Recorder(0), Recorder(1)
+        network.register(a, upload_rate=100.0)  # 100 B/s
+        network.register(b)
+        network.send(0, 1, DataMsg())  # 100 bytes -> 1 s serialisation
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_set_upload_rate(self, net):
+        _sim, network, _nodes = net
+        network.set_upload_rate(0, 500.0)
+        assert network.link(0).rate == 500.0
+
+
+class TestTrace:
+    def test_bytes_by_category(self, net):
+        sim, network, _nodes = net
+        network.send(0, 1, DataMsg())
+        network.send(0, 1, VerifMsg())
+        network.send(0, 2, VerifMsg())
+        sim.run()
+        trace = network.trace
+        assert trace.category_bytes(CATEGORY_DATA) == 100
+        assert trace.category_bytes(CATEGORY_VERIFICATION) == 20
+        assert trace.overhead_ratio() == pytest.approx(0.2)
+
+    def test_counts_by_kind(self, net):
+        sim, network, _nodes = net
+        network.send(0, 1, DataMsg())
+        network.send(0, 1, DataMsg())
+        sim.run()
+        assert network.trace.sent_count("DataMsg") == 2
+        assert network.trace.delivered_count("DataMsg") == 2
+
+    def test_node_category_bytes(self, net):
+        sim, network, _nodes = net
+        network.send(0, 1, DataMsg())
+        network.send(1, 2, VerifMsg())
+        sim.run()
+        assert network.trace.node_category_bytes(0, CATEGORY_DATA) == 100
+        assert network.trace.node_category_bytes(1, CATEGORY_VERIFICATION) == 10
+
+    def test_loss_rate(self, rng):
+        sim = Simulator()
+        network = Network(sim, loss=BernoulliLoss(rng, 0.5))
+        a, b = Recorder(0), Recorder(1)
+        network.register(a)
+        network.register(b)
+        for _ in range(2000):
+            network.send(0, 1, DataMsg())
+        assert network.trace.loss_rate("DataMsg") == pytest.approx(0.5, abs=0.05)
+
+    def test_default_wire_size_fallback(self, net):
+        sim, network, _nodes = net
+
+        class Bare:
+            pass
+
+        network.send(0, 1, Bare())
+        assert network.trace.sent_bytes("Bare") == 64
+
+    def test_reset(self, net):
+        sim, network, _nodes = net
+        network.send(0, 1, DataMsg())
+        network.trace.reset()
+        assert network.trace.sent_count() == 0
+
+    def test_overhead_ratio_zero_without_data(self):
+        assert MessageTrace().overhead_ratio() == 0.0

@@ -1,0 +1,43 @@
+"""The public API surface advertised in the README must exist and work."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+class TestQuickstart:
+    def test_readme_quickstart_runs(self):
+        from dataclasses import replace
+
+        from repro import ClusterConfig, SimCluster, planetlab_params
+
+        gossip, lifting = planetlab_params()
+        gossip = replace(gossip, n=30, fanout=4)
+        cluster = SimCluster(
+            ClusterConfig(
+                gossip=gossip, lifting=lifting, freerider_fraction=0.1, seed=1
+            )
+        )
+        cluster.run(until=5.0)
+        summary = cluster.detection().summary()
+        assert "detection" in summary
+
+    def test_paper_constants_reachable_from_top_level(self):
+        assert repro.expected_blame_honest(12, 4, 0.93) == pytest.approx(72.95, abs=0.01)
+        assert repro.max_bias_probability(8.95, 25, 600) == pytest.approx(0.21, abs=0.01)
+        assert repro.recommended_fanout(10_000) == 12
+
+    def test_params_factories(self):
+        gossip, lifting = repro.analysis_params()
+        assert gossip.n == 10_000 and gossip.fanout == 12
+        gossip, lifting = repro.planetlab_params()
+        assert gossip.n == 300 and gossip.fanout == 7 and lifting.managers == 25

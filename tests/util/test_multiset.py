@@ -1,0 +1,102 @@
+"""Tests for the multiset and its entropy — Eq. (1) of the paper."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.multiset import Multiset
+
+
+class TestBasics:
+    def test_empty(self):
+        m = Multiset()
+        assert len(m) == 0
+        assert m.distinct() == 0
+        assert m.shannon_entropy() == 0.0
+
+    def test_add_and_count(self):
+        m = Multiset()
+        m.add("a")
+        m.add("a", 2)
+        assert m.count("a") == 3
+        assert len(m) == 3
+
+    def test_add_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Multiset().add("a", 0)
+
+    def test_discard(self):
+        m = Multiset([1, 1, 2])
+        m.discard(1)
+        assert m.count(1) == 1
+        m.discard(1, 5)  # over-discard is clamped
+        assert m.count(1) == 0
+        assert 1 not in m
+        m.discard(99)  # absent: no-op
+        assert len(m) == 1
+
+    def test_elements_with_multiplicity(self):
+        m = Multiset(["x", "y", "x"])
+        assert sorted(m.elements()) == ["x", "x", "y"]
+
+    def test_equality(self):
+        assert Multiset([1, 2, 2]) == Multiset([2, 1, 2])
+        assert Multiset([1]) != Multiset([2])
+
+    def test_copy_is_independent(self):
+        m = Multiset([1])
+        c = m.copy()
+        c.add(2)
+        assert 2 not in m
+
+    def test_union_adds_counts(self):
+        u = Multiset([1, 1]).union(Multiset([1, 2]))
+        assert u.count(1) == 3
+        assert u.count(2) == 1
+
+    def test_frequencies(self):
+        m = Multiset(["a", "a", "b", "c"])
+        freqs = m.frequencies()
+        assert freqs["a"] == pytest.approx(0.5)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+
+
+class TestEntropy:
+    def test_uniform_two_elements(self):
+        assert Multiset([1, 2]).shannon_entropy() == pytest.approx(1.0)
+
+    def test_single_element_zero(self):
+        assert Multiset([5, 5, 5]).shannon_entropy() == 0.0
+
+    def test_all_distinct_is_max(self):
+        m = Multiset(range(600))
+        assert m.shannon_entropy() == pytest.approx(math.log2(600))
+        assert m.max_entropy() == pytest.approx(math.log2(600))
+
+    def test_paper_bound_log2_nhf(self):
+        # n_h f = 600 in the paper: maximum entropy log2(600) = 9.23.
+        m = Multiset(range(600))
+        assert m.shannon_entropy() == pytest.approx(9.2288, abs=1e-3)
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300))
+    def test_entropy_bounds(self, items):
+        m = Multiset(items)
+        h = m.shannon_entropy()
+        assert -1e-9 <= h <= math.log2(m.distinct()) + 1e-9
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=100))
+    def test_entropy_invariant_under_uniform_scaling(self, items):
+        # The fanin multiset collected from witnesses repeats every entry
+        # f times; entropy must be unchanged (relied upon by the audit).
+        m = Multiset(items)
+        scaled = Multiset()
+        for item, count in m.items():
+            scaled.add(item, count * 7)
+        assert scaled.shannon_entropy() == pytest.approx(m.shannon_entropy(), abs=1e-9)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10), min_size=2, max_size=100))
+    def test_concentration_lowers_entropy(self, items):
+        m = Multiset(items)
+        concentrated = Multiset(items + [items[0]] * len(items))
+        assert concentrated.shannon_entropy() <= m.max_entropy() + 1e-9
