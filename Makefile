@@ -1,0 +1,32 @@
+# Convenience targets for the LiFTinG reproduction.
+# The python toolchain is assumed present (no installs happen here).
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: test bench-smoke bench-check bench-check-fast bench-baseline bench-full
+
+## Tier-1 test suite (must stay green).
+test:
+	python -m pytest -x -q
+
+## Quick substrate benchmark run (pytest-benchmark timings + reports).
+bench-smoke:
+	python -m pytest benchmarks/bench_substrate_performance.py -q
+
+## Compare substrate kernels against benchmarks/BENCH_substrate.json;
+## fails on a >30% regression. Use bench-check-fast to skip the
+## 300-node cluster kernel.
+bench-check:
+	python scripts/check_bench_regression.py
+
+bench-check-fast:
+	python scripts/check_bench_regression.py --skip-cluster
+
+## Refresh the 'current' baselines after an intentional perf change.
+bench-baseline:
+	python scripts/check_bench_regression.py --update
+
+## Full benchmark harness (paper-scale; slow).
+bench-full:
+	REPRO_BENCH_FULL=1 python -m pytest benchmarks -q

@@ -3,6 +3,12 @@
 Not a paper artefact — these guard the simulator's performance so the
 deployment-scale experiments stay tractable (a regression here silently
 turns the Figure 14 run from minutes into hours).
+
+Before/after baselines for the fast-kernel rewrite live in
+``benchmarks/BENCH_substrate.json``; ``scripts/check_bench_regression.py``
+re-times the three kernels below and fails on a >30 % regression
+against the recorded ``current`` numbers.  See ``docs/PERFORMANCE.md``
+for the kernel design and how to refresh the baselines.
 """
 
 import numpy as np
@@ -16,6 +22,33 @@ from repro.util.rng import make_generator
 
 
 def test_event_engine_throughput(benchmark):
+    """10k self-rescheduling events through the engine's hot path.
+
+    Uses :meth:`Simulator.schedule` (callback + args inline, no handle)
+    — the path the network delivery layer drives — mirroring how the
+    seed engine's hot path was driven through ``call_later`` + closure.
+    """
+
+    def run_10k_events():
+        sim = Simulator()
+        state = [0]
+
+        def tick(state):
+            state[0] += 1
+            if state[0] < 10_000:
+                sim.schedule(sim.now + 0.001, tick, state)
+
+        sim.schedule(0.001, tick, state)
+        sim.run()
+        return state[0]
+
+    result = benchmark(run_10k_events)
+    assert result == 10_000
+
+
+def test_event_engine_timer_throughput(benchmark):
+    """The handle-returning ``call_later`` path (cancellable timers)."""
+
     def run_10k_events():
         sim = Simulator()
         count = 0
@@ -32,6 +65,43 @@ def test_event_engine_throughput(benchmark):
 
     result = benchmark(run_10k_events)
     assert result == 10_000
+
+
+class _Sink:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.count = 0
+
+    def on_message(self, src, message):
+        self.count += 1
+
+
+def test_send_deliver_throughput(benchmark):
+    """10k UDP sends through the full network path: wire sizing, upload
+    link, trace accounting, loss + latency sampling, delivery event."""
+    from repro.sim.latency import UniformLatency
+    from repro.sim.loss import BernoulliLoss
+    from repro.sim.network import Network
+    from repro.wire import Propose
+
+    def run_10k_sends():
+        sim = Simulator()
+        net = Network(
+            sim,
+            latency=UniformLatency(np.random.default_rng(3), 0.01, 0.08),
+            loss=BernoulliLoss(np.random.default_rng(4), 0.04),
+        )
+        a, b = _Sink(0), _Sink(1)
+        net.register(a)
+        net.register(b)
+        msg = Propose(proposal_id=1, chunk_ids=(1, 2, 3))
+        for _ in range(10_000):
+            net.send(0, 1, msg)
+        sim.run()
+        return b.count
+
+    delivered = benchmark(run_10k_sends)
+    assert delivered > 9_000  # ~4 % loss
 
 
 def test_membership_sampling_throughput(benchmark):
@@ -51,14 +121,15 @@ def test_blame_sampler_throughput(benchmark):
 
 
 def test_cluster_simulated_second(benchmark):
-    """Wall-clock cost of one simulated second of a 60-node deployment."""
+    """Wall-clock cost of one simulated second of a 300-node deployment
+    (the Figure 14 PlanetLab scale)."""
     from dataclasses import replace
 
     from repro.config import planetlab_params
     from repro.experiments.cluster import ClusterConfig, SimCluster
 
     gossip, lifting = planetlab_params()
-    gossip = replace(gossip, n=60, fanout=5, source_fanout=5)
+    gossip = replace(gossip, n=300, fanout=5, source_fanout=5)
     lifting = replace(lifting, managers=10)
     cluster = SimCluster(ClusterConfig(gossip=gossip, lifting=lifting, seed=1))
     cluster.run(until=3.0)  # warm-up
@@ -72,5 +143,5 @@ def test_cluster_simulated_second(benchmark):
     benchmark.pedantic(one_second, rounds=5, iterations=1)
     record_report(
         "substrate_performance",
-        f"events processed in warm deployment: {cluster.sim.events_processed}",
+        f"events processed in warm n=300 deployment: {cluster.sim.events_processed}",
     )

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Guard the simulation substrate's performance.
+
+Re-times the three substrate kernels (event engine, network
+send/deliver, 300-node cluster) and compares them against the
+``current`` baselines in ``benchmarks/BENCH_substrate.json``.  Exits
+non-zero if any kernel regressed by more than ``TOLERANCE`` (30 %).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py           # check
+    PYTHONPATH=src python scripts/check_bench_regression.py --update  # refresh baselines
+    PYTHONPATH=src python scripts/check_bench_regression.py --skip-cluster
+
+The kernels intentionally mirror ``benchmarks/bench_substrate_performance.py``
+but run without pytest-benchmark so the check stays dependency-light and
+fast enough for CI smoke runs.  See docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_substrate.json"
+TOLERANCE = 0.30
+
+
+def best_of(fn, reps):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_engine() -> float:
+    """Events/second through the engine hot path (schedule + args)."""
+    from repro.sim.engine import Simulator
+
+    def run_10k():
+        sim = Simulator()
+        state = [0]
+
+        def tick(state):
+            state[0] += 1
+            if state[0] < 10_000:
+                sim.schedule(sim.now + 0.001, tick, state)
+
+        sim.schedule(0.001, tick, state)
+        sim.run()
+
+    return 10_000 / best_of(run_10k, reps=9)
+
+
+def bench_send_deliver() -> float:
+    """Messages/second through the full network send + deliver path."""
+    from repro.sim.engine import Simulator
+    from repro.sim.latency import UniformLatency
+    from repro.sim.loss import BernoulliLoss
+    from repro.sim.network import Network
+    from repro.wire import Propose
+
+    class Sink:
+        def __init__(self, node_id):
+            self.node_id = node_id
+
+        def on_message(self, src, message):
+            pass
+
+    def run_10k():
+        sim = Simulator()
+        net = Network(
+            sim,
+            latency=UniformLatency(np.random.default_rng(3), 0.01, 0.08),
+            loss=BernoulliLoss(np.random.default_rng(4), 0.04),
+        )
+        net.register(Sink(0))
+        net.register(Sink(1))
+        msg = Propose(proposal_id=1, chunk_ids=(1, 2, 3))
+        for _ in range(10_000):
+            net.send(0, 1, msg)
+        sim.run()
+
+    return 10_000 / best_of(run_10k, reps=7)
+
+
+def bench_cluster300() -> float:
+    """Seconds of wall clock per simulated second, warm 300-node run."""
+    from dataclasses import replace
+
+    from repro.config import planetlab_params
+    from repro.experiments.cluster import ClusterConfig, SimCluster
+
+    gossip, lifting = planetlab_params()
+    gossip = replace(gossip, n=300, fanout=5, source_fanout=5)
+    lifting = replace(lifting, managers=10)
+    cluster = SimCluster(ClusterConfig(gossip=gossip, lifting=lifting, seed=1))
+    cluster.run(until=3.0)  # warm-up
+
+    best = float("inf")
+    until = 3.0
+    for _ in range(3):
+        until += 1.0
+        start = time.perf_counter()
+        cluster.run(until=until)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# metric key -> (runner, higher_is_better)
+KERNELS = {
+    "engine_events_per_s": (bench_engine, True),
+    "send_deliver_msgs_per_s": (bench_send_deliver, True),
+    "cluster300_s_per_sim_second": (bench_cluster300, False),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true", help="write measured numbers as the new 'current' baselines")
+    parser.add_argument("--skip-cluster", action="store_true", help="skip the (slower) 300-node cluster kernel")
+    args = parser.parse_args(argv)
+
+    data = json.loads(BENCH_FILE.read_text())
+    current = data["current"]
+    failures = []
+
+    for key, (runner, higher_is_better) in KERNELS.items():
+        if args.skip_cluster and key == "cluster300_s_per_sim_second":
+            continue
+        measured = runner()
+        baseline = current.get(key)
+        unit = "s/sim-s" if not higher_is_better else "ops/s"
+        baseline_text = "none" if baseline is None else f"{baseline:,.1f}"
+        print(f"{key}: measured {measured:,.1f} {unit} (baseline {baseline_text})")
+        if args.update:
+            current[key] = round(measured, 4) if not higher_is_better else int(measured)
+            continue
+        if baseline is None:
+            continue
+        if higher_is_better:
+            regressed = measured < baseline * (1.0 - TOLERANCE)
+        else:
+            regressed = measured > baseline * (1.0 + TOLERANCE)
+        if regressed:
+            failures.append(f"{key}: {measured:,.1f} vs baseline {baseline:,.1f} (>{TOLERANCE:.0%} regression)")
+
+    if args.update:
+        BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"updated {BENCH_FILE}")
+        return 0
+    if failures:
+        print("\nPERFORMANCE REGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nsubstrate performance within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -149,7 +149,7 @@ class Auditor:
             requested_periods=periods,
         )
         self.host.send(target, AuditRequest(periods=periods), reliable=True)
-        self.host.call_later(self.RESPONSE_TIMEOUT, lambda: self._response_deadline(target))
+        self.host.call_later(self.RESPONSE_TIMEOUT, self._response_deadline, target)
         return True
 
     def _response_deadline(self, target: NodeId) -> None:
@@ -178,7 +178,7 @@ class Auditor:
         if polls == 0:
             self._finalize(state)
         else:
-            self.host.call_later(self.POLL_TIMEOUT, lambda: self._poll_deadline(src))
+            self.host.call_later(self.POLL_TIMEOUT, self._poll_deadline, src)
 
     def on_poll_response(self, src: NodeId, response: HistoryPollResponse) -> None:
         """An alleged partner's testimony arrived."""

@@ -246,7 +246,7 @@ class ScoreReader:
                     self._queries[query_id]["values"].append(value)
             else:
                 self.host.send(manager_id, ScoreQuery(target=target))
-        self.host.call_later(self.timeout, lambda: self._finish(query_id))
+        self.host.call_later(self.timeout, self._finish, query_id)
 
     def on_reply(self, src: NodeId, target: NodeId, score: float, known: bool) -> None:
         """Collect a manager's reply into every open query for ``target``."""

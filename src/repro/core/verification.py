@@ -18,7 +18,7 @@ pending state:
 
 The host interface the engine needs (satisfied by
 :class:`repro.gossip.protocol.GossipNode` and the asyncio runtime node):
-``node_id``, ``clock()``, ``call_later(delay, fn)``, ``random()`` (a
+``node_id``, ``clock()``, ``call_later(delay, fn, *args)``, ``random()`` (a
 uniform [0,1) draw), ``send(dst, message, transport)``,
 ``send_blame(target, value, reason)``, ``on_request_expired(chunk_ids)``
 and the ``gossip``/``lifting`` parameter sets.
@@ -135,7 +135,7 @@ class VerificationEngine:
             self._awaiting_response[(proposer, witness)].append(round_id)
             self.host.send(witness, confirm)
         self.host.call_later(
-            self.host.lifting.confirm_timeout, lambda: self._finish_confirm_round(round_id)
+            self.host.lifting.confirm_timeout, self._finish_confirm_round, round_id
         )
 
     def on_confirm_response(self, src: NodeId, response: ConfirmResponse) -> None:
@@ -173,7 +173,7 @@ class VerificationEngine:
             proposer=proposer, expected=set(chunk_ids)
         )
         self.host.call_later(
-            self.host.lifting.serve_timeout, lambda: self._finish_request(proposal_id)
+            self.host.lifting.serve_timeout, self._finish_request, proposal_id
         )
 
     def on_serve_received(self, proposal_id: int, chunk_id: ChunkId) -> None:

@@ -50,6 +50,10 @@ from repro.util.validation import require
 NodeId = int
 ChunkId = int
 
+#: Upper bound on remembered alternative proposers per chunk; retries
+#: walk the list newest-first, so older entries are rarely reachable.
+MAX_OFFERS_PER_CHUNK = 16
+
 
 class SimTransport:
     """Binds a node to the discrete-event simulator and network.
@@ -67,8 +71,8 @@ class SimTransport:
     def clock(self) -> float:
         return self.sim.now
 
-    def call_later(self, delay: float, callback: Callable[[], None]):
-        return self.sim.call_later(delay, callback)
+    def call_later(self, delay: float, callback: Callable[..., None], *args):
+        return self.sim.call_later(delay, callback, *args)
 
     def call_every(self, interval: float, callback, *, first_delay: float, jitter=None):
         return self.sim.call_every(
@@ -175,7 +179,39 @@ class GossipNode:
             from repro.core.audit import AuditScheduler
 
             self.audit_scheduler = AuditScheduler(self, p_audit=p_audit)
+        self._dispatch = self._build_dispatch()
         behavior.bind(self)
+
+    def _build_dispatch(self) -> Dict[type, Callable]:
+        """Type-keyed message dispatch table, built once per node.
+
+        Replaces a 14-branch isinstance chain on the hottest protocol
+        path; handlers owned by optional components (engine, manager,
+        auditor, score reader) are only present when the component is —
+        messages without an entry are dropped, exactly as the chain's
+        ``is not None`` guards did.
+        """
+        table: Dict[type, Callable] = {
+            Propose: self._on_propose,
+            Request: self._on_request,
+            Serve: self._on_serve,
+            Confirm: self._on_confirm,
+            ExpelVote: self._on_expel_vote,
+            ScoreQuery: self._on_score_query,
+            AuditRequest: self._on_audit_request,
+            HistoryPollRequest: self._on_history_poll,
+        }
+        if self.engine is not None:
+            table[Ack] = self.engine.on_ack
+            table[ConfirmResponse] = self.engine.on_confirm_response
+        if self.manager is not None:
+            table[Blame] = self._on_blame
+        if self.score_reader is not None:
+            table[ScoreReply] = self._on_score_reply
+        if self.auditor is not None:
+            table[AuditResponse] = self.auditor.on_audit_response
+            table[HistoryPollResponse] = self.auditor.on_poll_response
+        return table
 
     # ------------------------------------------------------------------
     # transport facade used by the engine / auditor
@@ -184,9 +220,9 @@ class GossipNode:
         """Current time."""
         return self.transport.clock()
 
-    def call_later(self, delay: float, callback: Callable[[], None]):
-        """Schedule ``callback`` after ``delay`` seconds."""
-        return self.transport.call_later(delay, callback)
+    def call_later(self, delay: float, callback: Callable[..., None], *args):
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        return self.transport.call_later(delay, callback, *args)
 
     def random(self) -> float:
         """One uniform [0, 1) draw from the node's stream."""
@@ -237,9 +273,20 @@ class GossipNode:
         self._propose_phase()
 
     def _prune_offers(self) -> None:
+        """Drop alternative-source bookkeeping older than two periods.
+
+        Pruning looks *inside* each per-chunk list, not just at its most
+        recent entry — otherwise one fresh offer would keep arbitrarily
+        many stale earlier entries (and their node references) alive.
+        """
         horizon = self.clock() - 2 * self.gossip.gossip_period
-        stale = [c for c, offers in self._offers.items() if not offers or offers[-1][2] < horizon]
-        for chunk_id in stale:
+        dead = []
+        for chunk_id, offers in self._offers.items():
+            if not offers or offers[-1][2] < horizon:
+                dead.append(chunk_id)
+            elif offers[0][2] < horizon:
+                offers[:] = [o for o in offers if o[2] >= horizon]
+        for chunk_id in dead:
             del self._offers[chunk_id]
 
     def _propose_phase(self) -> None:
@@ -306,41 +353,16 @@ class GossipNode:
     # message dispatch
     # ------------------------------------------------------------------
     def on_message(self, src: NodeId, message: object) -> None:
-        """Network entry point."""
-        if isinstance(message, Propose):
-            self._on_propose(src, message)
-        elif isinstance(message, Request):
-            self._on_request(src, message)
-        elif isinstance(message, Serve):
-            self._on_serve(src, message)
-        elif isinstance(message, Ack):
-            if self.engine is not None:
-                self.engine.on_ack(src, message)
-        elif isinstance(message, Confirm):
-            self._on_confirm(src, message)
-        elif isinstance(message, ConfirmResponse):
-            if self.engine is not None:
-                self.engine.on_confirm_response(src, message)
-        elif isinstance(message, Blame):
-            if self.manager is not None:
-                self.manager.on_blame(message.target, message.value)
-        elif isinstance(message, ExpelVote):
-            self._on_expel_vote(src, message)
-        elif isinstance(message, ScoreQuery):
-            self._on_score_query(src, message)
-        elif isinstance(message, ScoreReply):
-            if self.score_reader is not None:
-                self.score_reader.on_reply(src, message.target, message.score, message.known)
-        elif isinstance(message, AuditRequest):
-            self._on_audit_request(src, message)
-        elif isinstance(message, AuditResponse):
-            if self.auditor is not None:
-                self.auditor.on_audit_response(src, message)
-        elif isinstance(message, HistoryPollRequest):
-            self._on_history_poll(src, message)
-        elif isinstance(message, HistoryPollResponse):
-            if self.auditor is not None:
-                self.auditor.on_poll_response(src, message)
+        """Network entry point (exact-type dispatch; see _build_dispatch)."""
+        handler = self._dispatch.get(message.__class__)
+        if handler is not None:
+            handler(src, message)
+
+    def _on_blame(self, src: NodeId, message: Blame) -> None:
+        self.manager.on_blame(message.target, message.value)
+
+    def _on_score_reply(self, src: NodeId, message: ScoreReply) -> None:
+        self.score_reader.on_reply(src, message.target, message.score, message.known)
 
     # ------------------------------------------------------------------
     # three phases (§3)
@@ -355,10 +377,13 @@ class GossipNode:
             if chunk_id in self.store:
                 continue
             # Remember alternative sources for chunks we do not request
-            # now — a lost serve is re-requested from one of them.
-            self._offers.setdefault(chunk_id, []).append(
-                (src, message.proposal_id, now)
-            )
+            # now — a lost serve is re-requested from one of them.  Each
+            # list is bounded: retries walk it newest-first, so beyond
+            # MAX_OFFERS_PER_CHUNK the oldest entries are dead weight.
+            offers = self._offers.setdefault(chunk_id, [])
+            offers.append((src, message.proposal_id, now))
+            if len(offers) > MAX_OFFERS_PER_CHUNK:
+                del offers[0]
             if chunk_id not in self._pending_chunks:
                 needed.append(chunk_id)
         if not needed:
@@ -378,8 +403,7 @@ class GossipNode:
             # lost serves get retried from an alternative proposer.
             self._naked_requests[proposal_id] = (proposer, set(chunk_ids))
             self.call_later(
-                self.lifting.serve_timeout,
-                lambda: self._check_naked_request(proposal_id),
+                self.lifting.serve_timeout, self._check_naked_request, proposal_id
             )
 
     def _check_naked_request(self, proposal_id: int) -> None:
@@ -447,7 +471,7 @@ class GossipNode:
         # the testimony is evaluated after a grace delay.
         delay = self.lifting.witness_answer_delay
         if delay > 0:
-            self.call_later(delay, lambda: self._answer_confirm(src, message))
+            self.call_later(delay, self._answer_confirm, src, message)
         else:
             self._answer_confirm(src, message)
 

@@ -113,9 +113,9 @@ class AsyncTransport:
         """Seconds since the cluster epoch."""
         return self.loop.time() - self.epoch
 
-    def call_later(self, delay: float, callback: Callable[[], None]):
+    def call_later(self, delay: float, callback: Callable[..., None], *args):
         """Schedule on the event loop; returns the asyncio handle."""
-        return self.loop.call_later(delay, callback)
+        return self.loop.call_later(delay, callback, *args)
 
     def call_every(self, interval: float, callback, *, first_delay: float, jitter=None):
         """Periodic scheduling with the same semantics as the simulator."""

@@ -48,12 +48,16 @@ class UploadLink:
         Returns the absolute time at which the last byte leaves the
         link (i.e. when the message enters the network).
         """
-        require(size_bytes >= 0, "size_bytes must be >= 0, got %r", size_bytes)
+        if not size_bytes >= 0:  # negated form also rejects NaN
+            require(size_bytes >= 0, "size_bytes must be >= 0, got %r", size_bytes)
         self.bytes_sent += size_bytes
-        if math.isinf(self.rate):
+        rate = self.rate
+        if rate == math.inf:
             return now
-        start = max(now, self.free_at)
-        finish = start + size_bytes / self.rate
+        start = self.free_at
+        if now > start:
+            start = now
+        finish = start + size_bytes / rate
         self.free_at = finish
         return finish
 

@@ -2,63 +2,103 @@
 
 Design notes
 ------------
-* Events are ``(time, sequence, callback)`` triples in a binary heap.
-  The monotonically increasing sequence number breaks ties, so two
-  events scheduled for the same instant fire in scheduling order —
-  this keeps runs fully deterministic.
-* Callbacks are plain callables taking no arguments; state is captured
-  by closure or ``functools.partial``.  Cancellation is handled with
-  lightweight :class:`Timer` handles (lazy deletion: a cancelled event
-  stays in the heap but is skipped when popped).
+* Events are plain-list heap entries ``[time, seq, callback, args,
+  status]`` in a binary heap — no closure is required on the hot path:
+  callers pass positional ``args`` inline (``sim.schedule(t, fn, a,
+  b)``) instead of wrapping them in a lambda.  The monotonically
+  increasing sequence number breaks ties, so two events scheduled for
+  the same instant fire in scheduling order — this keeps runs fully
+  deterministic.
+* :class:`Timer` handles (returned by ``call_at`` / ``call_later``) are
+  a ``list`` subclass: the handle *is* the heap entry, so a cancellable
+  event costs one allocation, and the handle-free :meth:`Simulator.
+  schedule` path costs one plain list.
+* Cancellation is lazy: cancelling flips the entry's status word and
+  bumps the engine's cancellation generation counter; the entry is
+  skipped when popped.  When cancelled entries outnumber live ones the
+  heap is compacted in place, so retry/audit churn cannot make the heap
+  grow without bound.
+* The engine keeps an O(1) live-event counter (``pending_events``)
+  instead of scanning the heap.
+* The scheduling and run loops are deliberately inlined (no helper
+  calls, validation by plain comparison on the happy path): CPython
+  frame setup dominates at millions of events per second.
 * The engine knows nothing about networks or nodes; those live in
   :mod:`repro.sim.network`.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
+from heapq import heapify, heappop, heappush
 from typing import Callable, List, Optional
 
 from repro.util.validation import require
 
-Callback = Callable[[], None]
+Callback = Callable[..., None]
+
+_INF = math.inf
+
+# Heap-entry slots: [_TIME, _SEQ, _CALLBACK, _ARGS, _STATUS(, _SIM)].
+# The trailing _SIM slot exists only on Timer entries; the unique _SEQ
+# guarantees heap comparisons never look past the first two slots.
+_TIME = 0
+_SEQ = 1
+_CALLBACK = 2
+_ARGS = 3
+_STATUS = 4
+_SIM = 5
+
+# Status words.
+_PENDING = 0
+_FIRED = 1
+_CANCELLED = 2
+
+#: Compaction trigger: at least this many cancelled entries *and* more
+#: cancelled than live entries in the heap.
+_COMPACT_MIN = 64
 
 
-class Timer:
+class Timer(list):
     """Handle for a scheduled event; supports cancellation.
 
     Instances are returned by :meth:`Simulator.call_at` /
     :meth:`Simulator.call_later`.  Cancelling after the event has fired
-    is a harmless no-op.
+    is a harmless no-op.  The handle *is* the engine's heap entry (a
+    ``list`` subclass), so cancellable events cost a single allocation;
+    code that never cancels should use :meth:`Simulator.schedule`,
+    which allocates a plain list.
     """
 
-    __slots__ = ("time", "_callback", "cancelled", "fired")
+    __slots__ = ()
 
-    def __init__(self, time: float, callback: Callback) -> None:
-        self.time = time
-        self._callback = callback
-        self.cancelled = False
-        self.fired = False
+    @property
+    def time(self) -> float:
+        """Absolute simulated time the event is (or was) due."""
+        return self[_TIME]
 
-    def cancel(self) -> None:
-        """Prevent the callback from running (no-op if already fired)."""
-        self.cancelled = True
-        self._callback = None  # release references eagerly
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has taken effect."""
+        return self[_STATUS] == _CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has run."""
+        return self[_STATUS] == _FIRED
 
     @property
     def active(self) -> bool:
         """True while the timer is pending (not fired, not cancelled)."""
-        return not self.cancelled and not self.fired
+        return self[_STATUS] == _PENDING
 
-    def _fire(self) -> None:
-        if self.cancelled:
-            return
-        callback = self._callback
-        self.fired = True
-        self._callback = None
-        if callback is not None:
-            callback()
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self[_SIM]._cancel(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("pending", "fired", "cancelled")[self[_STATUS]]
+        return f"Timer(time={self[_TIME]!r}, {state})"
 
 
 class Simulator:
@@ -73,33 +113,73 @@ class Simulator:
     (['a', 'b'], 2.0)
     """
 
+    __slots__ = (
+        "now",
+        "_queue",
+        "_sequence",
+        "_events_processed",
+        "_live",
+        "_cancelled_in_heap",
+        "_cancel_generation",
+    )
+
     def __init__(self, start_time: float = 0.0) -> None:
         self.now = float(start_time)
-        self._queue: List = []
+        self._queue: List[list] = []
         self._sequence = 0
         self._events_processed = 0
-        self._running = False
+        self._live = 0  # O(1) pending-event counter
+        self._cancelled_in_heap = 0  # cancelled entries awaiting lazy deletion
+        self._cancel_generation = 0  # total cancellations ever issued
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def call_at(self, time: float, callback: Callback) -> Timer:
-        """Schedule ``callback`` at absolute simulated ``time``.
+    def schedule(self, time: float, callback: Callback, *args) -> list:
+        """Hot-path scheduling: no cancellation handle is allocated.
+
+        ``callback`` is invoked as ``callback(*args)`` at absolute
+        simulated ``time``; the args are stored inline in the heap entry
+        so callers need no closure.  Returns the raw heap entry (opaque;
+        pass it to :meth:`cancel_entry` if cancellation is ever needed).
+        """
+        if not (self.now <= time < _INF):  # also rejects NaN
+            raise ValueError(
+                f"event time must be finite and >= now={self.now!r}, got {time!r}"
+            )
+        entry = [time, self._sequence, callback, args, _PENDING]
+        self._sequence += 1
+        heappush(self._queue, entry)
+        self._live += 1
+        return entry
+
+    def call_at(self, time: float, callback: Callback, *args) -> Timer:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``.
 
         Scheduling in the past raises — that is always a logic error in
         protocol code (e.g. a negative latency).
         """
-        require(time >= self.now, "cannot schedule in the past (%r < now=%r)", time, self.now)
-        require(math.isfinite(time), "event time must be finite, got %r", time)
-        timer = Timer(time, callback)
+        if not (self.now <= time < _INF):
+            require(time >= self.now, "cannot schedule in the past (%r < now=%r)", time, self.now)
+            require(math.isfinite(time), "event time must be finite, got %r", time)
+        timer = Timer((time, self._sequence, callback, args, _PENDING, self))
         self._sequence += 1
-        heapq.heappush(self._queue, (time, self._sequence, timer))
+        heappush(self._queue, timer)
+        self._live += 1
         return timer
 
-    def call_later(self, delay: float, callback: Callback) -> Timer:
-        """Schedule ``callback`` after ``delay`` simulated seconds."""
-        require(delay >= 0, "delay must be >= 0, got %r", delay)
-        return self.call_at(self.now + delay, callback)
+    def call_later(self, delay: float, callback: Callback, *args) -> Timer:
+        """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            require(delay >= 0, "delay must be >= 0, got %r", delay)
+        time = self.now + delay
+        if not time < _INF:  # also rejects NaN
+            require(math.isfinite(time), "event time must be finite, got %r", time)
+        timer = Timer((time, self._sequence, callback, args, _PENDING, self))
+        self._sequence += 1
+        heappush(self._queue, timer)
+        self._live += 1
+        return timer
 
     def call_every(
         self,
@@ -121,69 +201,151 @@ class Simulator:
         return PeriodicTimer(self, interval, callback, first_at=first_at, jitter=jitter)
 
     # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel_entry(self, entry: list) -> None:
+        """Cancel a raw entry returned by :meth:`schedule`."""
+        self._cancel(entry)
+
+    def _cancel(self, entry: list) -> None:
+        if entry[_STATUS] != _PENDING:
+            return
+        entry[_STATUS] = _CANCELLED
+        entry[_CALLBACK] = None  # release references eagerly
+        entry[_ARGS] = None
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        self._cancel_generation += 1
+        # Compact when cancelled entries are the majority of the
+        # *physical* heap.  len(queue) is always exact, unlike the live
+        # counter, whose updates run() batches — comparing against
+        # self._live here would leave compaction suppressed for the
+        # whole of a long run() call.
+        if (
+            self._cancelled_in_heap >= _COMPACT_MIN
+            and 2 * self._cancelled_in_heap > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (in place: the queue
+        list identity is preserved for aliases held by the run loop)."""
+        self._queue[:] = [e for e in self._queue if e[_STATUS] == _PENDING]
+        heapify(self._queue)
+        self._cancelled_in_heap = 0
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Run the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            time, _seq, timer = heapq.heappop(self._queue)
-            if timer.cancelled:
+        """Run the next event.  Returns False when no live event remains."""
+        queue = self._queue
+        while queue:
+            entry = heappop(queue)
+            if entry[_STATUS] != _PENDING:
+                self._cancelled_in_heap -= 1
                 continue
-            self.now = time
+            self.now = entry[_TIME]
+            self._live -= 1
+            entry[_STATUS] = _FIRED
             self._events_processed += 1
-            timer._fire()
+            args = entry[_ARGS]
+            if args:
+                entry[_CALLBACK](*args)
+            else:
+                entry[_CALLBACK]()
             return True
         return False
 
     def run(self, *, until: float = math.inf, max_events: int = None) -> None:
         """Run events until the queue drains, ``until`` passes, or
-        ``max_events`` have been processed.
+        ``max_events`` have *fired*.
 
-        When stopping at ``until``, the clock is advanced exactly to
-        ``until`` so that a subsequent ``run`` resumes cleanly.
+        ``max_events`` counts events whose callback actually ran —
+        cancelled timers skipped by lazy deletion do not count towards
+        the budget.  When stopping at ``until``, the clock is advanced
+        exactly to ``until`` so that a subsequent ``run`` resumes
+        cleanly.
+
+        The fired/live counters are accumulated in locals and written
+        back when the loop exits (including on an exception): callbacks
+        observing ``pending_events`` / ``events_processed`` *mid-run*
+        see values as of the run's start, plus anything they scheduled
+        or cancelled themselves.
         """
-        processed = 0
-        while self._queue:
-            next_time = self._peek_time()
-            if next_time is None:
-                break
-            if next_time > until:
+        queue = self._queue
+        fired = 0
+        unbounded = max_events is None
+        try:
+            while queue:
+                entry = queue[0]
+                if entry[_STATUS] != _PENDING:
+                    # Decrement immediately (not batched like the fired
+                    # counters): a callback-triggered _compact() resets
+                    # _cancelled_in_heap absolutely, and a deferred
+                    # subtraction would double-count entries popped
+                    # before the compaction.
+                    heappop(queue)
+                    self._cancelled_in_heap -= 1
+                    continue
+                time = entry[_TIME]
+                if time > until:
+                    self.now = until
+                    return
+                if not unbounded and fired >= max_events:
+                    return
+                heappop(queue)
+                self.now = time
+                entry[_STATUS] = _FIRED
+                fired += 1
+                args = entry[_ARGS]
+                if args:
+                    entry[_CALLBACK](*args)
+                else:
+                    entry[_CALLBACK]()
+            if until != _INF and until > self.now:
                 self.now = until
-                return
-            if max_events is not None and processed >= max_events:
-                return
-            self.step()
-            processed += 1
-        if math.isfinite(until) and until > self.now:
-            self.now = until
-
-    def _peek_time(self) -> Optional[float]:
-        while self._queue:
-            time, _seq, timer = self._queue[0]
-            if timer.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            return time
-        return None
+        finally:
+            self._events_processed += fired
+            self._live -= fired
 
     @property
     def pending_events(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for _t, _s, timer in self._queue if not timer.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return self._live
 
     @property
     def events_processed(self) -> int:
         """Total events executed so far."""
         return self._events_processed
 
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, including lazily-deleted entries.
+
+        Exposed so tests (and the performance docs) can observe heap
+        compaction; ``heap_size - pending_events`` is the number of
+        cancelled entries still awaiting deletion.
+        """
+        return len(self._queue)
+
+    @property
+    def cancel_generation(self) -> int:
+        """Total cancellations ever issued (monotone generation counter)."""
+        return self._cancel_generation
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.3f}, pending={self.pending_events})"
 
 
 class PeriodicTimer:
-    """Repeatedly fires a callback; created via :meth:`Simulator.call_every`."""
+    """Repeatedly fires a callback; created via :meth:`Simulator.call_every`.
 
-    __slots__ = ("_sim", "interval", "_callback", "_jitter", "_timer", "stopped", "fire_count")
+    Reschedules through the engine's handle-free fast path, so a
+    periodic timer costs one heap entry per tick and nothing else.
+    """
+
+    __slots__ = ("_sim", "interval", "_callback", "_jitter", "_entry", "stopped", "fire_count")
 
     def __init__(
         self,
@@ -201,7 +363,8 @@ class PeriodicTimer:
         self.stopped = False
         self.fire_count = 0
         start = first_at if first_at is not None else sim.now + interval
-        self._timer = sim.call_at(start, self._tick)
+        require(start >= sim.now, "first_at must be >= now (%r < %r)", start, sim.now)
+        self._entry = sim.schedule(start, self._tick)
 
     def _tick(self) -> None:
         if self.stopped:
@@ -213,10 +376,11 @@ class PeriodicTimer:
         delay = self.interval + (self._jitter() if self._jitter is not None else 0.0)
         if delay <= 0:
             delay = self.interval
-        self._timer = self._sim.call_later(delay, self._tick)
+        sim = self._sim
+        self._entry = sim.schedule(sim.now + delay, self._tick)
 
     def stop(self) -> None:
         """Stop firing; pending tick is cancelled."""
         self.stopped = True
-        if self._timer is not None:
-            self._timer.cancel()
+        if self._entry is not None:
+            self._sim._cancel(self._entry)

@@ -4,6 +4,18 @@ PlanetLab links have heterogeneous delays; the paper's protocol is
 timing-sensitive (chunks must be proposed within one gossip period of
 reception, verifications run on timeouts), so latency is a first-class
 model here rather than a constant.
+
+Performance note
+----------------
+The stochastic models draw *blocks* of samples from numpy and hand them
+out one at a time, refilling on exhaustion.  Numpy fills an array from
+the exact same bit stream as repeated scalar draws, so the sample
+sequence — and therefore every seeded experiment — is bit-for-bit
+identical to per-call sampling while the per-send cost drops from one
+RNG call to a list index.  The block buffers assume the model's
+parameters are fixed after construction (they are everywhere in this
+repo); mutate the generator or parameters and the pre-drawn block would
+go stale.
 """
 
 from __future__ import annotations
@@ -15,6 +27,9 @@ import numpy as np
 from repro.util.validation import require, require_non_negative
 
 NodeId = int
+
+#: Samples pre-drawn per refill of a stochastic model's block buffer.
+SAMPLE_BLOCK = 1024
 
 
 class LatencyModel(abc.ABC):
@@ -44,9 +59,17 @@ class UniformLatency(LatencyModel):
         self._rng = rng
         self.low = low
         self.high = high
+        self._block: list = []
+        self._next = 0
 
     def sample(self, src: NodeId, dst: NodeId) -> float:
-        return float(self._rng.uniform(self.low, self.high))
+        i = self._next
+        block = self._block
+        if i >= len(block):
+            block = self._block = self._rng.uniform(self.low, self.high, SAMPLE_BLOCK).tolist()
+            i = 0
+        self._next = i + 1
+        return block[i]
 
 
 class LogNormalLatency(LatencyModel):
@@ -68,10 +91,20 @@ class LogNormalLatency(LatencyModel):
         self.median = require_non_negative(median, "median")
         self.sigma = require_non_negative(sigma, "sigma")
         self.cap = require_non_negative(cap, "cap")
+        self._block: list = []
+        self._next = 0
 
     def sample(self, src: NodeId, dst: NodeId) -> float:
-        value = float(self._rng.lognormal(mean=np.log(self.median), sigma=self.sigma))
-        return min(value, self.cap)
+        i = self._next
+        block = self._block
+        if i >= len(block):
+            raw = self._rng.lognormal(
+                mean=np.log(self.median), sigma=self.sigma, size=SAMPLE_BLOCK
+            )
+            block = self._block = np.minimum(raw, self.cap).tolist()
+            i = 0
+        self._next = i + 1
+        return block[i]
 
 
 class PerNodeLatency(LatencyModel):

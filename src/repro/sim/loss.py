@@ -5,6 +5,15 @@ The paper's analysis assumes i.i.d. Bernoulli losses with parameter
 far more than the 4 % average — these become the paper's false
 positives).  Both are modelled here.  The reliable (TCP) path bypasses
 loss models entirely, mirroring §5.3's choice to run audits over TCP.
+
+Performance note
+----------------
+The stochastic models pre-draw blocks of uniforms (see
+:data:`repro.sim.latency.SAMPLE_BLOCK`) and compare one buffered draw
+per loss decision.  Numpy fills an array from the exact same bit stream
+as repeated scalar ``random()`` calls, so seeded experiments are
+bit-for-bit identical to per-call sampling.  The zero-probability
+short-circuits consume no draw, exactly as before.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ import abc
 
 import numpy as np
 
+from repro.sim.latency import SAMPLE_BLOCK
 from repro.util.validation import require_probability
 
 NodeId = int
@@ -39,11 +49,19 @@ class BernoulliLoss(LossModel):
     def __init__(self, rng: np.random.Generator, p_loss: float) -> None:
         self._rng = rng
         self.p_loss = require_probability(p_loss, "p_loss")
+        self._block: list = []
+        self._next = 0
 
     def is_lost(self, src: NodeId, dst: NodeId) -> bool:
         if self.p_loss == 0.0:
             return False
-        return bool(self._rng.random() < self.p_loss)
+        i = self._next
+        block = self._block
+        if i >= len(block):
+            block = self._block = self._rng.random(SAMPLE_BLOCK).tolist()
+            i = 0
+        self._next = i + 1
+        return block[i] < self.p_loss
 
 
 class PerNodeLoss(LossModel):
@@ -65,6 +83,8 @@ class PerNodeLoss(LossModel):
         self._rng = rng
         self.base = require_probability(base, "base")
         self.node_loss = {k: require_probability(v, "node_loss") for k, v in (node_loss or {}).items()}
+        self._block: list = []
+        self._next = 0
 
     def set_node_loss(self, node: NodeId, p: float) -> None:
         """Set the endpoint loss rate of ``node``."""
@@ -80,7 +100,15 @@ class PerNodeLoss(LossModel):
         return 1.0 - p_keep
 
     def is_lost(self, src: NodeId, dst: NodeId) -> bool:
+        # The probability is recomputed per call on purpose: ``base``
+        # and ``node_loss`` are public and may be mutated mid-run.
         p = self.loss_probability(src, dst)
         if p <= 0.0:
             return False
-        return bool(self._rng.random() < p)
+        i = self._next
+        block = self._block
+        if i >= len(block):
+            block = self._block = self._rng.random(SAMPLE_BLOCK).tolist()
+            i = 0
+        self._next = i + 1
+        return block[i] < p

@@ -37,6 +37,13 @@ class Transport(enum.Enum):
     TCP = "tcp"
 
 
+# Module-level aliases: enum member access (`Transport.UDP`) is an
+# attribute lookup per use, and `send` runs a hundred thousand times per
+# simulated second.
+_UDP = Transport.UDP
+_TCP = Transport.TCP
+
+
 class Endpoint(Protocol):
     """Anything that can receive messages from the network."""
 
@@ -52,6 +59,25 @@ def default_wire_size(message: object) -> int:
     if sizer is None:
         return 64
     return int(sizer())
+
+
+def _size_strategy(cls: type, message: object):
+    """Per-class sizing strategy for the default wire-size function.
+
+    Returns an ``int`` for classes whose size is payload-independent
+    (they declare ``WIRE_SIZE_FIXED = True``) and for classes without a
+    sizer (64-byte default); variable-size classes map to their unbound
+    ``wire_size`` function.  Caching this per message *type* turns the
+    per-send cost into one dict lookup for the common fixed-size
+    verification/reputation messages, and saves the per-instance
+    attribute probe for the rest.
+    """
+    sizer = getattr(cls, "wire_size", None)
+    if sizer is None:
+        return 64
+    if getattr(cls, "WIRE_SIZE_FIXED", False):
+        return int(message.wire_size())
+    return sizer
 
 
 class Network:
@@ -90,6 +116,9 @@ class Network:
         self._links: Dict[NodeId, UploadLink] = {}
         self._disconnected: set = set()
         self.wire_size: Callable[[object], int] = default_wire_size
+        # type -> int (fixed size) | unbound sizer; only consulted while
+        # ``wire_size`` is the default (a custom sizer bypasses it).
+        self._size_cache: Dict[type, object] = {}
 
     # ------------------------------------------------------------------
     # membership of the network fabric
@@ -145,33 +174,50 @@ class Network:
         """Send ``message`` from ``src`` to ``dst``.
 
         Returns True if the message was put on the wire (it may still be
-        lost in flight on UDP).  Sends from or to expelled nodes are
-        silently dropped — an expelled node's packets no longer enter
-        the fabric, but we return False so callers can observe it.
+        lost in flight on UDP).  Sends from or to expelled nodes, and to
+        unregistered destinations, are short-circuited *before* the
+        sender's upload link or the byte trace is charged — an expelled
+        peer's address is dead, so no bandwidth is spent on it (this
+        keeps the Table 5 accounting honest) — and return False so
+        callers can observe it.
         """
-        if src in self._disconnected:
+        endpoints = self._endpoints
+        disconnected = self._disconnected  # usually empty: guard lookups
+        if disconnected and src in disconnected:
             return False
-        require(src in self._endpoints, "unknown sender %s", src)
-        if dst not in self._endpoints:
+        if src not in endpoints:
+            require(False, "unknown sender %s", src)
+        if dst not in endpoints or (disconnected and dst in disconnected):
             return False
 
-        size = self.wire_size(message)
-        departure = self._links[src].transmit(self.sim.now, size)
+        ws = self.wire_size
+        if ws is default_wire_size:
+            cls = message.__class__
+            cached = self._size_cache.get(cls)
+            if cached is None:
+                cached = self._size_cache[cls] = _size_strategy(cls, message)
+            size = cached if type(cached) is int else int(cached(message))
+        else:
+            size = ws(message)
+        sim = self.sim
+        now = sim.now
+        departure = self._links[src].transmit(now, size)
         self.trace.record_sent(src, message, size)
 
-        if transport is Transport.UDP and self.loss.is_lost(src, dst):
+        if transport is _UDP and self.loss.is_lost(src, dst):
             self.trace.record_lost(src, dst, message)
             return True
 
         delay = self.latency.sample(src, dst)
-        if transport is Transport.TCP:
+        if transport is _TCP:
             delay *= self.tcp_latency_factor
-        arrival = max(departure, self.sim.now) + delay
-        self.sim.call_at(arrival, lambda: self._deliver(src, dst, message))
+        arrival = (departure if departure > now else now) + delay
+        sim.schedule(arrival, self._deliver, src, dst, message)
         return True
 
     def _deliver(self, src: NodeId, dst: NodeId, message: object) -> None:
-        if dst in self._disconnected or src in self._disconnected:
+        disconnected = self._disconnected
+        if disconnected and (dst in disconnected or src in disconnected):
             # Expulsion takes effect immediately: in-flight traffic of an
             # expelled node is discarded at delivery time.
             return

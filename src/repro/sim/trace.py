@@ -39,6 +39,21 @@ def message_category(message: object) -> str:
     return getattr(message, "CATEGORY", CATEGORY_CONTROL)
 
 
+# class -> (kind, category); recording runs per send, and the name /
+# CATEGORY attribute probes are pure per-type functions.
+_CLASS_META: Dict[type, tuple] = {}
+
+
+def _class_meta(cls: type) -> tuple:
+    meta = _CLASS_META.get(cls)
+    if meta is None:
+        meta = _CLASS_META[cls] = (
+            cls.__name__,
+            getattr(cls, "CATEGORY", CATEGORY_CONTROL),
+        )
+    return meta
+
+
 class MessageTrace:
     """Accumulates message counts and byte volumes.
 
@@ -60,22 +75,20 @@ class MessageTrace:
     # ------------------------------------------------------------------
     def record_sent(self, src: NodeId, message: object, size: int) -> None:
         """Account an outgoing message (before any loss decision)."""
-        kind = message_kind(message)
-        category = message_category(message)
+        kind, category = _class_meta(message.__class__)
         self._sent_count[kind] += 1
         self._sent_bytes[kind] += size
         self._category_bytes[category] += size
-        node = self._node_sent_bytes[src]
-        node[category] += size
+        self._node_sent_bytes[src][category] += size
         self._node_sent_count[src][kind] += 1
 
     def record_lost(self, src: NodeId, dst: NodeId, message: object) -> None:
         """Account a datagram dropped by the loss model."""
-        self._lost_count[message_kind(message)] += 1
+        self._lost_count[message.__class__.__name__] += 1
 
     def record_delivered(self, dst: NodeId, message: object) -> None:
         """Account a delivered message."""
-        self._delivered_count[message_kind(message)] += 1
+        self._delivered_count[message.__class__.__name__] += 1
 
     # ------------------------------------------------------------------
     # queries

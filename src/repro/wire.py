@@ -16,11 +16,18 @@ Categories (``data`` / ``verification`` / ``reputation`` / ``control``)
 feed the :class:`~repro.sim.trace.MessageTrace` accounting: Table 5's
 "cross-checking and blaming overhead" is the verification+reputation
 bytes divided by the data bytes.
+
+All message classes are frozen slotted dataclasses: simulation-scale
+runs hold hundreds of thousands of in-flight messages, and ``__slots__``
+removes the per-instance ``__dict__``.  Classes whose wire size does not
+depend on the payload declare ``WIRE_SIZE_FIXED = True`` so the network
+can cache the size per message *type* instead of calling ``wire_size()``
+per send.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.sim.trace import (
@@ -46,7 +53,7 @@ ChunkId = int
 # ----------------------------------------------------------------------
 # data path (§3)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Propose:
     """Phase 1: advertise the chunk ids received since the last period."""
 
@@ -59,7 +66,7 @@ class Propose:
         return UDP_HEADER + TYPE_TAG + PROPOSAL_ID_BYTES + CHUNK_ID_BYTES * len(self.chunk_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """Phase 2: ask the proposer for the subset of chunks needed."""
 
@@ -72,7 +79,7 @@ class Request:
         return UDP_HEADER + TYPE_TAG + PROPOSAL_ID_BYTES + CHUNK_ID_BYTES * len(self.chunk_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Serve:
     """Phase 3: deliver one requested chunk.
 
@@ -103,7 +110,7 @@ class Serve:
 # ----------------------------------------------------------------------
 # direct cross-checking (§5.2)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ack:
     """``ack[i](partners)`` — sent by a receiver to each node that served
     it, after its propose phase: "I proposed your chunks to these
@@ -123,7 +130,7 @@ class Ack:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Confirm:
     """``confirm[i](p1)`` — the verifier asks a witness whether
     ``proposer`` really proposed ``chunk_ids`` to it."""
@@ -137,11 +144,12 @@ class Confirm:
         return UDP_HEADER + TYPE_TAG + NODE_ID_BYTES + CHUNK_ID_BYTES * len(self.chunk_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConfirmResponse:
     """Witness answer: did the proposal arrive and include the chunks?"""
 
     CATEGORY = CATEGORY_VERIFICATION
+    WIRE_SIZE_FIXED = True  # payload-independent: the network caches it per type
 
     proposer: NodeId
     valid: bool
@@ -153,11 +161,12 @@ class ConfirmResponse:
 # ----------------------------------------------------------------------
 # reputation (§5.1)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Blame:
     """A blame of ``value`` against ``target``, sent to its managers."""
 
     CATEGORY = CATEGORY_REPUTATION
+    WIRE_SIZE_FIXED = True  # payload-independent: the network caches it per type
 
     target: NodeId
     value: float
@@ -168,11 +177,12 @@ class Blame:
         return UDP_HEADER + TYPE_TAG + NODE_ID_BYTES + VALUE_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScoreQuery:
     """Ask a manager for its copy of ``target``'s score."""
 
     CATEGORY = CATEGORY_REPUTATION
+    WIRE_SIZE_FIXED = True  # payload-independent: the network caches it per type
 
     target: NodeId
 
@@ -180,11 +190,12 @@ class ScoreQuery:
         return UDP_HEADER + TYPE_TAG + NODE_ID_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScoreReply:
     """A manager's reply to a :class:`ScoreQuery`."""
 
     CATEGORY = CATEGORY_REPUTATION
+    WIRE_SIZE_FIXED = True  # payload-independent: the network caches it per type
 
     target: NodeId
     score: float
@@ -194,11 +205,12 @@ class ScoreReply:
         return UDP_HEADER + TYPE_TAG + NODE_ID_BYTES + VALUE_BYTES + 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExpelVote:
     """A manager's vote (to its co-managers) that ``target`` be expelled."""
 
     CATEGORY = CATEGORY_REPUTATION
+    WIRE_SIZE_FIXED = True  # payload-independent: the network caches it per type
 
     target: NodeId
     reason: str = "score"
@@ -210,11 +222,12 @@ class ExpelVote:
 # ----------------------------------------------------------------------
 # local history auditing (§5.3) — runs over TCP
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuditRequest:
     """Ask the target for its history of the last ``periods`` periods."""
 
     CATEGORY = CATEGORY_VERIFICATION
+    WIRE_SIZE_FIXED = True  # payload-independent: the network caches it per type
 
     periods: int
 
@@ -222,7 +235,7 @@ class AuditRequest:
         return TCP_HEADER + TYPE_TAG + PERIOD_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuditResponse:
     """The audited node's (possibly forged) history snapshot.
 
@@ -245,7 +258,7 @@ class AuditResponse:
         return size
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HistoryPollRequest:
     """A-posteriori cross-check: "did ``target`` propose these chunks to
     you around ``period``, and who asked you to confirm its proposals?"
@@ -267,7 +280,7 @@ class HistoryPollRequest:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HistoryPollResponse:
     """Witness answer to a :class:`HistoryPollRequest`.
 

@@ -29,8 +29,8 @@ class FakeHost:
     def clock(self):
         return self.sim.now
 
-    def call_later(self, delay, callback):
-        return self.sim.call_later(delay, callback)
+    def call_later(self, delay, callback, *args):
+        return self.sim.call_later(delay, callback, *args)
 
     def random(self):
         if self.forced_random is not None:

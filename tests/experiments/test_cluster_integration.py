@@ -239,3 +239,29 @@ class TestDegradedNodes:
             if n not in cluster.degraded_ids and n not in cluster.freerider_ids
         ]
         assert np.mean(degraded) < np.mean(healthy)
+
+
+class TestSeededDeterminismGolden:
+    """Pin the exact trace of a fixed-seed deployment.
+
+    The fast simulation kernel (inline heap entries, block-buffered
+    samplers, type-keyed dispatch) is required to be bit-for-bit
+    deterministic; these golden counters catch any refactor that
+    silently perturbs event ordering or RNG streams.  An *intentional*
+    protocol-behaviour change should update the constants (and say so in
+    its changelog entry).
+    """
+
+    def test_fixed_seed_trace_is_bit_for_bit_stable(self, small_cluster_factory):
+        cluster = small_cluster_factory()  # seed=42, loss_rate=0.03
+        cluster.run(until=5.0)
+        trace = cluster.trace
+        assert cluster.sim.events_processed == 19339
+        assert trace.sent_count() == 15151
+        assert trace.delivered_count() == 14504
+        assert trace.lost_count() == 470
+        assert trace.category_bytes("data") == 9515255
+        assert trace.category_bytes("verification") == 331606
+        assert trace.category_bytes("reputation") == 65676
+        assert trace.sent_count("Serve") == 4482
+        assert trace.sent_count("Confirm") == 3308

@@ -153,3 +153,79 @@ class TestScoresUnderLoss:
         cluster.run(until=8.0)
         scores = cluster.scores()
         assert min(scores.values()) < 0.0
+
+
+class TestDispatchTable:
+    def test_unknown_message_type_silently_dropped(self, small_cluster_factory):
+        cluster = small_cluster_factory()
+        node = cluster.nodes[0]
+
+        class Strange:
+            pass
+
+        node.on_message(1, Strange())  # must not raise
+
+    def test_lifting_disabled_node_ignores_verification_messages(self, small_cluster_factory):
+        cluster = small_cluster_factory(lifting_enabled=False)
+        node = cluster.nodes[0]
+        assert node.engine is None
+        node.on_message(1, Ack(chunk_ids=(1,), partners=(2,)))
+        node.on_message(1, Blame(target=2, value=1.0))
+
+    def test_dispatch_covers_every_wire_message(self, small_cluster_factory):
+        """A fully-equipped node (manager + engine + auditor) must have a
+        handler for every message class the protocol can receive."""
+        import repro.wire as wire
+
+        cluster = small_cluster_factory()
+        node = cluster.nodes[0]
+        assert node.manager is not None and node.engine is not None
+        expected = {
+            wire.Propose, wire.Request, wire.Serve, wire.Ack, wire.Confirm,
+            wire.ConfirmResponse, wire.Blame, wire.ExpelVote, wire.ScoreQuery,
+            wire.ScoreReply, wire.AuditRequest, wire.AuditResponse,
+            wire.HistoryPollRequest, wire.HistoryPollResponse,
+        }
+        assert set(node._dispatch.keys()) == expected
+
+
+class TestOfferPruning:
+    def _fresh_node(self, small_cluster_factory):
+        cluster = small_cluster_factory(loss_rate=0.0)
+        return cluster, cluster.nodes[0]
+
+    def test_stale_entries_pruned_within_a_live_list(self, small_cluster_factory):
+        cluster, node = self._fresh_node(small_cluster_factory)
+        period = node.gossip.gossip_period
+        cluster.sim.run(until=10 * period)
+        now = node.clock()
+        # one chunk with many stale offers and one fresh one
+        node._offers[999] = [
+            (src, 1, now - 5 * period) for src in range(2, 12)
+        ] + [(1, 2, now)]
+        node._prune_offers()
+        assert node._offers[999] == [(1, 2, now)]
+
+    def test_fully_stale_lists_dropped(self, small_cluster_factory):
+        cluster, node = self._fresh_node(small_cluster_factory)
+        period = node.gossip.gossip_period
+        cluster.sim.run(until=10 * period)
+        now = node.clock()
+        node._offers[999] = [(2, 1, now - 5 * period)]
+        node._offers[1000] = []
+        node._prune_offers()
+        assert 999 not in node._offers
+        assert 1000 not in node._offers
+
+    def test_per_chunk_offer_lists_bounded(self, small_cluster_factory):
+        from repro.gossip.protocol import MAX_OFFERS_PER_CHUNK
+
+        cluster, node = self._fresh_node(small_cluster_factory)
+        chunk_id = 777_777  # never served: stays missing, keeps collecting offers
+        for src in range(1, MAX_OFFERS_PER_CHUNK + 8):
+            node.on_message(src, Propose(proposal_id=src, chunk_ids=(chunk_id,)))
+        offers = node._offers[chunk_id]
+        assert len(offers) == MAX_OFFERS_PER_CHUNK
+        # the oldest entries were evicted, the newest kept
+        assert offers[-1][0] == MAX_OFFERS_PER_CHUNK + 7
+        assert offers[0][0] == 8

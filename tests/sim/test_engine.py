@@ -187,3 +187,191 @@ class TestDeterminism:
             sim.call_later(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 5
+
+
+class TestHotPathScheduling:
+    def test_schedule_passes_args_inline(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda a, b: seen.append((a, b)), "x", 7)
+        sim.run()
+        assert seen == [("x", 7)]
+
+    def test_schedule_rejects_past_and_nonfinite_times(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule(4.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(float("inf"), lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_cancel_entry(self):
+        sim = Simulator()
+        fired = []
+        entry = sim.schedule(1.0, fired.append, 1)
+        sim.cancel_entry(entry)
+        sim.run()
+        assert fired == []
+        assert sim.pending_events == 0
+
+    def test_call_later_args(self):
+        sim = Simulator()
+        seen = []
+        sim.call_later(1.0, seen.append, 42)
+        sim.run()
+        assert seen == [42]
+
+    def test_interleaved_schedule_and_call_at_keep_tie_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, 0)
+        sim.call_at(1.0, order.append, 1)
+        sim.schedule(1.0, order.append, 2)
+        sim.run()
+        assert order == [0, 1, 2]
+
+
+class TestMaxEventsCountsFiredOnly:
+    """Regression: cancelled timers skipped by lazy deletion must not
+    consume the ``max_events`` budget (they never fire)."""
+
+    def test_cancelled_timers_do_not_consume_budget(self):
+        sim = Simulator()
+        fired = []
+        timers = [
+            sim.call_later(float(i + 1), lambda i=i: fired.append(i)) for i in range(20)
+        ]
+        for timer in timers[:10]:
+            timer.cancel()
+        sim.run(max_events=5)
+        assert fired == [10, 11, 12, 13, 14]
+        assert sim.events_processed == 5
+
+    def test_events_processed_matches_fired_with_mid_run_cancels(self):
+        sim = Simulator()
+        fired = []
+        later = [
+            sim.call_later(float(10 + i), lambda i=i: fired.append(i)) for i in range(10)
+        ]
+
+        def cancel_half():
+            fired.append("c")
+            for timer in later[::2]:
+                timer.cancel()
+
+        sim.call_later(1.0, cancel_half)
+        sim.run(max_events=4)
+        # one cancel event + three surviving odd-indexed timers
+        assert fired == ["c", 1, 3, 5]
+        assert sim.events_processed == 4
+
+
+class TestCancellationHeavyWorkloads:
+    def test_heap_compacts_under_cancel_churn(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.call_at(1000.0 + i, lambda: None)
+        victims = [sim.call_at(1.0 + i * 0.001, lambda: None) for i in range(10_000)]
+        for timer in victims:
+            timer.cancel()
+        # O(1) live counter is exact...
+        assert sim.pending_events == 10
+        assert sim.cancel_generation == 10_000
+        # ...and lazy deletion compacted: cancelled residue in the heap
+        # stays below the compaction trigger instead of accumulating 10k.
+        assert sim.heap_size - sim.pending_events < 64
+        sim.run()
+        assert sim.events_processed == 10
+        assert sim.heap_size == 0
+
+    def test_pending_events_stays_accurate_through_fire_cancel_cycles(self):
+        sim = Simulator()
+        fired = []
+        for round_no in range(20):
+            timers = [
+                sim.call_later(0.5 + i * 0.01, lambda i=i: fired.append(i))
+                for i in range(500)
+            ]
+            for timer in timers[::2]:
+                timer.cancel()
+            assert sim.pending_events == 250
+            sim.run()
+            assert sim.pending_events == 0
+        assert len(fired) == 20 * 250
+
+    def test_same_time_ordering_survives_compaction(self):
+        """Tie-broken scheduling order must hold even when compaction
+        re-heapifies underneath the pending events."""
+        sim = Simulator()
+        order = []
+        survivors = []
+        timers = []
+        for i in range(2_000):
+            timers.append(sim.call_at(1.0, lambda i=i: order.append(i)))
+        for i, timer in enumerate(timers):
+            if i % 3 != 0:
+                timer.cancel()
+            else:
+                survivors.append(i)
+        # compaction bounds cancelled residue to at most the live count
+        assert sim.heap_size <= 2 * sim.pending_events + 64
+        sim.run()
+        assert order == survivors
+
+    def test_periodic_timer_stop_releases_entry(self):
+        sim = Simulator()
+        ticks = []
+        timer = sim.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.call_at(3.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert sim.pending_events == 0
+
+    def test_mid_run_compaction_does_not_corrupt_cancel_accounting(self):
+        """Regression: a callback-triggered compaction resets the
+        cancelled-in-heap counter; entries skipped earlier in the same
+        run() must not be subtracted again afterwards."""
+        sim = Simulator()
+        # pre-cancelled entries that run() will skip before any firing
+        for i in range(10):
+            sim.call_at(0.5 + i * 0.01, lambda: None).cancel()
+        survivors = [sim.call_at(100.0 + i, lambda: None) for i in range(70)]
+
+        def mass_cancel():
+            for timer in survivors:
+                timer.cancel()  # 70 > live: triggers compaction mid-run
+
+        sim.call_at(1.0, mass_cancel)
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.heap_size == 0
+        assert sim._cancelled_in_heap == 0
+        # accounting still sound for a subsequent cancellation-heavy round
+        next_round = [sim.call_later(1.0 + i * 0.001, lambda: None) for i in range(200)]
+        for timer in next_round:
+            timer.cancel()
+        assert sim.pending_events == 0
+        assert sim.heap_size <= 2 * sim.pending_events + 64
+
+    def test_compaction_engages_during_a_long_run(self):
+        """Regression: compaction must trigger *inside* a long run()
+        (where live-counter updates are batched), not only between
+        runs — a mass-cancelled block of far-future timers may not
+        linger in the heap until its scheduled time."""
+        sim = Simulator()
+        far = [sim.call_at(10_000.0 + i, lambda: None) for i in range(500)]
+        chain = {"n": 0}
+
+        def tick(chain):
+            chain["n"] += 1
+            if chain["n"] < 1000:
+                sim.schedule(sim.now + 0.001, tick, chain)
+
+        observed = {}
+        sim.schedule(0.001, tick, chain)
+        sim.call_at(2.0, lambda: [t.cancel() for t in far])
+        sim.call_at(3.0, lambda: observed.update(heap=sim.heap_size))
+        sim.run(until=5.0)
+        assert chain["n"] == 1000
+        assert observed["heap"] < 500  # cancelled block compacted mid-run

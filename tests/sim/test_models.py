@@ -119,3 +119,50 @@ class TestUploadLink:
         assert kbps(674.0) == pytest.approx(84_250.0)
         with pytest.raises(ValueError):
             kbps(-1.0)
+
+
+class TestBatchedSamplingEquivalence:
+    """The block-buffered samplers must reproduce the exact scalar draw
+    sequence — seeded experiments depend on it bit-for-bit."""
+
+    def test_uniform_matches_scalar_stream(self):
+        model = UniformLatency(np.random.default_rng(7), 0.02, 0.12)
+        reference = np.random.default_rng(7)
+        for _ in range(2500):  # spans multiple refill blocks
+            assert model.sample(0, 1) == float(reference.uniform(0.02, 0.12))
+
+    def test_lognormal_matches_scalar_stream(self):
+        model = LogNormalLatency(np.random.default_rng(9), median=0.05, sigma=0.5, cap=0.3)
+        reference = np.random.default_rng(9)
+        for _ in range(2500):
+            expected = min(float(reference.lognormal(mean=np.log(0.05), sigma=0.5)), 0.3)
+            assert model.sample(0, 1) == expected
+
+    def test_bernoulli_matches_scalar_stream(self):
+        model = BernoulliLoss(np.random.default_rng(11), 0.3)
+        reference = np.random.default_rng(11)
+        for _ in range(2500):
+            assert model.is_lost(0, 1) == (float(reference.random()) < 0.3)
+
+    def test_bernoulli_zero_probability_consumes_no_draws(self):
+        rng = np.random.default_rng(13)
+        model = BernoulliLoss(rng, 0.0)
+        for _ in range(100):
+            assert not model.is_lost(0, 1)
+        # the generator was never touched: it still matches a fresh one
+        assert float(rng.random()) == float(np.random.default_rng(13).random())
+
+    def test_per_node_matches_scalar_stream(self):
+        model = PerNodeLoss(np.random.default_rng(17), base=0.1, node_loss={5: 0.2})
+        reference = np.random.default_rng(17)
+        for dst in [1, 5] * 1250:
+            p = model.loss_probability(0, dst)
+            assert model.is_lost(0, dst) == (float(reference.random()) < p)
+
+    def test_per_node_rate_changes_take_effect_immediately(self):
+        model = PerNodeLoss(np.random.default_rng(19), base=0.0)
+        assert not model.is_lost(0, 1)  # p == 0: no draw
+        model.set_node_loss(1, 1.0)
+        assert model.is_lost(0, 1)
+        model.node_loss[1] = 0.0  # direct mutation is supported too
+        assert not model.is_lost(0, 1)

@@ -209,3 +209,107 @@ class TestTrace:
 
     def test_overhead_ratio_zero_without_data(self):
         assert MessageTrace().overhead_ratio() == 0.0
+
+
+class TestDisconnectedDestinationShortCircuit:
+    """Sends to expelled/unknown destinations must not charge the
+    sender's upload link or the byte trace (Table 5 accounting)."""
+
+    def test_no_bandwidth_charged_for_disconnected_destination(self):
+        sim = Simulator()
+        network = Network(sim, latency=ConstantLatency(0.05))
+        a, b = Recorder(0), Recorder(1)
+        network.register(a, upload_rate=1000.0)
+        network.register(b)
+        network.disconnect(1)
+        assert network.send(0, 1, DataMsg()) is False
+        assert network.link(0).bytes_sent == 0
+        assert network.link(0).queueing_delay(0.0) == 0.0
+        assert network.trace.sent_count() == 0
+
+    def test_no_bandwidth_charged_for_unknown_destination(self):
+        sim = Simulator()
+        network = Network(sim, latency=ConstantLatency(0.05))
+        network.register(Recorder(0), upload_rate=1000.0)
+        assert network.send(0, 99, DataMsg()) is False
+        assert network.link(0).bytes_sent == 0
+        assert network.trace.sent_count() == 0
+
+    def test_no_rng_consumed_for_disconnected_destination(self, rng):
+        import numpy as np
+
+        sim = Simulator()
+        network = Network(
+            sim,
+            latency=ConstantLatency(0.01),
+            loss=BernoulliLoss(np.random.default_rng(3), 0.5),
+        )
+        a, b, c = Recorder(0), Recorder(1), Recorder(2)
+        for node in (a, b, c):
+            network.register(node)
+        network.disconnect(1)
+        # a blocked send must not advance the loss model's draw stream:
+        # the next real send sees the same decisions as a fresh model.
+        for _ in range(50):
+            network.send(0, 1, DataMsg())
+        reference = BernoulliLoss(np.random.default_rng(3), 0.5)
+        decisions = [network.loss.is_lost(0, 2) for _ in range(100)]
+        expected = [reference.is_lost(0, 2) for _ in range(100)]
+        assert decisions == expected
+
+
+class TestWireSizeTypeCache:
+    def test_fixed_size_message_sized_once_per_type(self, net):
+        sim, network, _nodes = net
+        calls = []
+
+        @dataclass(frozen=True)
+        class FixedMsg:
+            CATEGORY = CATEGORY_VERIFICATION
+            WIRE_SIZE_FIXED = True
+
+            def wire_size(self) -> int:
+                calls.append(1)
+                return 11
+
+        for _ in range(5):
+            network.send(0, 1, FixedMsg())
+        assert len(calls) == 1
+        assert network.trace.sent_bytes("FixedMsg") == 5 * 11
+
+    def test_variable_size_message_sized_per_send(self, net):
+        sim, network, _nodes = net
+        calls = []
+
+        @dataclass(frozen=True)
+        class VariableMsg:
+            CATEGORY = CATEGORY_DATA
+            payload: int = 0
+
+            def wire_size(self) -> int:
+                calls.append(1)
+                return 10 + self.payload
+
+        network.send(0, 1, VariableMsg(1))
+        network.send(0, 1, VariableMsg(2))
+        assert len(calls) == 2
+        assert network.trace.sent_bytes("VariableMsg") == 23
+
+    def test_custom_wire_size_bypasses_cache(self, net):
+        sim, network, _nodes = net
+        network.wire_size = lambda message: 7
+        network.send(0, 1, DataMsg())  # DataMsg.wire_size() says 100
+        network.send(0, 1, DataMsg())
+        assert network.trace.sent_bytes("DataMsg") == 14
+
+    def test_real_message_sizes_accounted(self, net):
+        from repro.wire import Blame, Propose
+
+        sim, network, _nodes = net
+        blame = Blame(target=3, value=1.0)
+        propose = Propose(proposal_id=1, chunk_ids=(1, 2))
+        network.send(0, 1, blame)
+        network.send(0, 1, blame)
+        network.send(0, 1, propose)
+        assert network.trace.sent_bytes("Blame") == 2 * blame.wire_size()
+        assert network.trace.sent_bytes("Propose") == propose.wire_size()
