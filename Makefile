@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench-check bench-check-fast bench-baseline bench-full
+.PHONY: test bench-smoke bench-parallel bench-check bench-check-fast bench-baseline bench-full
 
 ## Tier-1 test suite (must stay green).
 test:
@@ -13,6 +13,10 @@ test:
 ## Quick substrate benchmark run (pytest-benchmark timings + reports).
 bench-smoke:
 	python -m pytest benchmarks/bench_substrate_performance.py -q
+
+## Parallel orchestration scaling + equivalence (speedup asserted on >=4 cores).
+bench-parallel:
+	python -m pytest benchmarks/bench_parallel_experiments.py -q
 
 ## Compare substrate kernels against benchmarks/BENCH_substrate.json;
 ## fails on a >30% regression. Use bench-check-fast to skip the

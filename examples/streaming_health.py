@@ -13,15 +13,27 @@ upload headroom.  Three runs:
 
 Run with::
 
-    python examples/streaming_health.py
+    python examples/streaming_health.py [--jobs N]
+
+The three deployments are independent; ``--jobs 3`` runs them on three
+worker processes with bit-identical curves (``--jobs 0`` = all cores).
 """
+
+import argparse
 
 from repro.experiments.fig1 import run_fig1
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for the three deployments (0 = all cores)",
+    )
+    args = parser.parse_args()
+
     print("running three deployments (this takes a minute or two)...")
-    result = run_fig1(n=100, duration=25.0, seed=7)
+    result = run_fig1(n=100, duration=25.0, seed=7, jobs=args.jobs)
 
     print("\nfraction of nodes viewing a clear stream, by stream lag:")
     print("  lag(s)   baseline   freeriders   freeriders+LiFTinG")

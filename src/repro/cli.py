@@ -7,9 +7,16 @@ script when packaged).  Subcommands:
   run, and print the detection report (the quickstart as a command).
 * ``health`` — the Figure 1 scenario: baseline vs freeriders vs
   freeriders-under-LiFTinG health curves.
+* ``overhead`` — the Table 5 scenario: the bandwidth-overhead grid over
+  stream rates and cross-checking probabilities.
 * ``analyze`` — print the closed-form design constants for a parameter
   set (b̃, detection bounds, entropy ceilings).
 * ``live`` — run the asyncio runtime over real loopback sockets.
+
+Experiments that drive several independent deployments (``health``,
+``overhead``) accept ``--jobs N`` to fan them out over N worker
+processes (``--jobs 0`` = all cores); results are bit-identical to the
+serial run.
 """
 
 from __future__ import annotations
@@ -27,6 +34,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="experiment seed")
     parser.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
     parser.add_argument("--loss", type=float, default=0.04, help="datagram loss rate")
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for independent deployments (0 = all cores)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,7 +64,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     health = sub.add_parser("health", help="Figure 1's three health curves")
     _add_common(health)
+    _add_jobs(health)
     health.add_argument("--freeriders", type=float, default=0.25)
+
+    overhead = sub.add_parser("overhead", help="Table 5's bandwidth-overhead grid")
+    overhead.add_argument("--nodes", "-n", type=int, default=100, help="system size")
+    overhead.add_argument("--seed", type=int, default=31, help="experiment seed")
+    overhead.add_argument("--duration", type=float, default=10.0, help="simulated seconds")
+    _add_jobs(overhead)
+    overhead.add_argument(
+        "--rates", type=float, nargs="+", default=[674.0, 1082.0, 2036.0],
+        help="stream rates (kbps)",
+    )
+    overhead.add_argument(
+        "--p-dcc", type=float, nargs="+", default=[0.0, 0.5, 1.0],
+        help="cross-checking probabilities",
+    )
 
     analyze = sub.add_parser("analyze", help="closed-form design constants")
     analyze.add_argument("--fanout", "-f", type=int, default=12)
@@ -105,10 +137,28 @@ def _cmd_health(args: argparse.Namespace) -> int:
         duration=args.duration,
         seed=args.seed,
         freerider_fraction=args.freeriders,
+        jobs=args.jobs,
     )
     print("lag(s)  baseline  freeriders  freeriders+LiFTinG")
     for lag, base, collapsed, protected in result.rows():
         print(f"{lag:5.0f}   {base:7.2f}   {collapsed:9.2f}   {protected:12.2f}")
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.experiments.table5 import run_table5
+
+    result = run_table5(
+        n=args.nodes,
+        duration=args.duration,
+        seed=args.seed,
+        rates_kbps=tuple(args.rates),
+        p_dcc_values=tuple(args.p_dcc),
+        jobs=args.jobs,
+    )
+    print("rate(kbps)  p_dcc  measured   paper")
+    for rate, p_dcc, measured, paper in result.rows():
+        print(f"{rate:9.0f}   {p_dcc:4.1f}   {measured:6.2f}%   {paper:5.2f}%")
     return 0
 
 
@@ -173,6 +223,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "detect": _cmd_detect,
         "health": _cmd_health,
+        "overhead": _cmd_overhead,
         "analyze": _cmd_analyze,
         "live": _cmd_live,
     }

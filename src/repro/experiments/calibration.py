@@ -22,12 +22,14 @@ positive is lower than 1 %", §6.3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Optional
 
 import numpy as np
 
 from repro.config import GossipParams, LiftingParams
-from repro.experiments.cluster import ClusterConfig, SimCluster
+from repro.experiments.cluster import ClusterConfig
+from repro.runtime.parallel import Job, run_jobs
 from repro.util.validation import require
 
 
@@ -59,6 +61,70 @@ class CalibrationResult:
         return quantile * self.score_stddev
 
 
+def _extract_calibration(cluster, *, duration: float) -> CalibrationResult:
+    """Worker-side reduction of a calibration cluster to its result."""
+    gossip = cluster.config.gossip
+    # Min-vote with compensation 0 returns -B_max / r; recover per-period
+    # blame rates from it.
+    raw_scores = cluster.scores()
+    elapsed_periods = duration / gossip.gossip_period
+    blame_rates = np.array([-s for s in raw_scores.values()])  # B_max / r
+    compensation = float(np.median(blame_rates))
+    compensated = compensation - blame_rates  # normalised scores at end
+    # Robust spread: IQR / 1.349 approximates the healthy population's σ.
+    q25, q75 = np.percentile(compensated, [25.0, 75.0])
+    robust_std = float((q75 - q25) / 1.349)
+    return CalibrationResult(
+        compensation=compensation,
+        score_stddev=robust_std,
+        periods=elapsed_periods,
+        n=gossip.n,
+    )
+
+
+def calibration_job(
+    gossip: GossipParams,
+    lifting: LiftingParams,
+    *,
+    seed: int = 1234,
+    duration: float = 15.0,
+    n: Optional[int] = None,
+    loss_rate: float = 0.04,
+    degraded_fraction: float = 0.0,
+    degraded_loss: float = 0.12,
+    degraded_upload: Optional[float] = None,
+    key="calibration",
+) -> Job:
+    """The honest-only calibration deployment as a runnable :class:`Job`.
+
+    Used directly by experiments (e.g. Figure 14) that want the
+    calibration to go through the same parallel runner as their other
+    deployments; :func:`calibrate` is the run-it-now convenience.
+    """
+    require(duration > 0, "duration must be > 0")
+    size = min(gossip.n, 120) if n is None else n
+    config = ClusterConfig(
+        gossip=replace(gossip, n=size),
+        lifting=lifting,
+        seed=seed,
+        loss_rate=loss_rate,
+        degraded_fraction=degraded_fraction,
+        degraded_loss=degraded_loss,
+        degraded_upload=degraded_upload,
+        lifting_enabled=True,
+        expulsion_enabled=False,
+        compensation=0.0,  # raw blames, no compensation
+    )
+    return Job(
+        config=config,
+        until=duration,
+        extractors=(
+            ("calibration", partial(_extract_calibration, duration=duration)),
+        ),
+        key=key,
+    )
+
+
 def calibrate(
     gossip: GossipParams,
     lifting: LiftingParams,
@@ -86,37 +152,16 @@ def calibrate(
     from the inter-quartile range so that the derived threshold targets
     the healthy population.
     """
-    require(duration > 0, "duration must be > 0")
-    size = min(gossip.n, 120) if n is None else n
-    cal_gossip = replace(gossip, n=size)
-    config = ClusterConfig(
-        gossip=cal_gossip,
-        lifting=lifting,
+    job = calibration_job(
+        gossip,
+        lifting,
         seed=seed,
+        duration=duration,
+        n=n,
         loss_rate=loss_rate,
         degraded_fraction=degraded_fraction,
         degraded_loss=degraded_loss,
         degraded_upload=degraded_upload,
-        lifting_enabled=True,
-        expulsion_enabled=False,
-        compensation=0.0,  # raw blames, no compensation
     )
-    cluster = SimCluster(config)
-    cluster.run(until=duration)
-
-    # Min-vote with compensation 0 returns -B_max / r; recover per-period
-    # blame rates from it.
-    raw_scores = cluster.scores()
-    elapsed_periods = duration / gossip.gossip_period
-    blame_rates = np.array([-s for s in raw_scores.values()])  # B_max / r
-    compensation = float(np.median(blame_rates))
-    compensated = compensation - blame_rates  # normalised scores at end
-    # Robust spread: IQR / 1.349 approximates the healthy population's σ.
-    q25, q75 = np.percentile(compensated, [25.0, 75.0])
-    robust_std = float((q75 - q25) / 1.349)
-    return CalibrationResult(
-        compensation=compensation,
-        score_stddev=robust_std,
-        periods=elapsed_periods,
-        n=size,
-    )
+    [result] = run_jobs([job])
+    return result.get("calibration")

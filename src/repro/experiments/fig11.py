@@ -10,13 +10,14 @@ two disjoint modes separated by a gap, and uses the threshold
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.config import FreeriderDegree, analysis_params
 from repro.mc.blame_model import BlameModel, ScoreSample, simulate_scores
 from repro.metrics.scores import DetectionReport
+from repro.runtime.parallel import Task, run_tasks
 from repro.util.rng import make_generator
 from repro.util.stats import EmpiricalDistribution
 
@@ -65,6 +66,33 @@ class Fig11Result:
         )
 
 
+def _split_evenly(total: int, parts: int) -> List[int]:
+    """Deterministic near-even split (remainder to the earliest parts)."""
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def _fig11_shard(
+    model: BlameModel,
+    seed: int,
+    shard: int,
+    n_honest: int,
+    n_freeriders: int,
+    degree: FreeriderDegree,
+    rounds: int,
+) -> ScoreSample:
+    """One population shard, sampled from its own derived RNG stream."""
+    rng = make_generator(seed, f"fig11/shard/{shard}")
+    return simulate_scores(
+        model,
+        rng,
+        n_honest=n_honest,
+        n_freeriders=n_freeriders,
+        degree=degree,
+        rounds=rounds,
+    )
+
+
 def run_fig11(
     *,
     n: int = 10_000,
@@ -72,8 +100,17 @@ def run_fig11(
     rounds: int = 50,
     delta: float = 0.1,
     seed: int = 13,
+    jobs: int = 1,
+    shards: int = 8,
 ) -> Fig11Result:
-    """Simulate the two-population score distribution."""
+    """Simulate the two-population score distribution.
+
+    The populations are split into ``shards`` fixed sub-populations,
+    each with its own seed-derived RNG stream, so the Monte-Carlo work
+    fans out over ``jobs`` processes.  The shard count — not the worker
+    count — determines the streams, so results depend only on
+    ``(seed, shards)`` and are bit-identical for every ``jobs`` value.
+    """
     gossip, lifting = analysis_params()
     model = BlameModel(
         fanout=gossip.fanout,
@@ -81,13 +118,23 @@ def run_fig11(
         p_reception=lifting.p_reception,
         p_dcc=lifting.p_dcc,
     )
-    rng = make_generator(seed, "fig11")
-    sample = simulate_scores(
-        model,
-        rng,
-        n_honest=n - freeriders,
-        n_freeriders=freeriders,
-        degree=FreeriderDegree.uniform(delta),
+    degree = FreeriderDegree.uniform(delta)
+    shards = max(1, int(shards))
+    tasks = [
+        Task(
+            fn=_fig11_shard,
+            args=(model, seed, shard, shard_honest, shard_freeriders, degree, rounds),
+            key=shard,
+        )
+        for shard, (shard_honest, shard_freeriders) in enumerate(
+            zip(_split_evenly(n - freeriders, shards), _split_evenly(freeriders, shards))
+        )
+    ]
+    samples = run_tasks(tasks, jobs=jobs)
+    sample = ScoreSample(
+        honest=np.concatenate([s.honest for s in samples]),
+        freeriders=np.concatenate([s.freeriders for s in samples]),
         rounds=rounds,
+        compensation=model.compensation,
     )
     return Fig11Result(sample=sample, eta=lifting.eta)

@@ -18,8 +18,9 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.config import analysis_params
-from repro.mc.blame_model import BlameModel, detection_sweep
+from repro.config import FreeriderDegree, analysis_params
+from repro.mc.blame_model import BlameModel, simulate_scores
+from repro.runtime.parallel import Task, run_tasks
 from repro.util.rng import make_generator
 
 
@@ -53,14 +54,47 @@ class Fig12Result:
         ]
 
 
+def _fig12_point(
+    model: BlameModel,
+    seed: int,
+    index: int,
+    delta: float,
+    eta: float,
+    rounds: int,
+    samples_per_point: int,
+) -> Tuple[float, float, float]:
+    """One sweep point ``(α, β, gain)`` from its own derived RNG stream."""
+    degree = FreeriderDegree.uniform(float(delta))
+    rng = make_generator(seed, f"fig12/delta/{index}")
+    sample = simulate_scores(
+        model,
+        rng,
+        n_honest=samples_per_point,
+        n_freeriders=samples_per_point,
+        degree=degree,
+        rounds=rounds,
+    )
+    return (
+        sample.detection_fraction(eta),
+        sample.false_positive_fraction(eta),
+        degree.bandwidth_gain,
+    )
+
+
 def run_fig12(
     *,
     deltas: Sequence[float] = None,
     rounds: int = 50,
     samples_per_point: int = 3_000,
     seed: int = 17,
+    jobs: int = 1,
 ) -> Fig12Result:
-    """Run the δ sweep with the analysis parameters."""
+    """Run the δ sweep with the analysis parameters.
+
+    Each sweep point is an independent Monte-Carlo task with a
+    seed-derived per-point RNG stream, so ``jobs`` fans the sweep out
+    over processes with bit-identical series for every ``jobs`` value.
+    """
     gossip, lifting = analysis_params()
     model = BlameModel(
         fanout=gossip.fanout,
@@ -70,16 +104,27 @@ def run_fig12(
     )
     if deltas is None:
         deltas = np.concatenate([np.arange(0.0, 0.06, 0.005), np.arange(0.06, 0.21, 0.01)])
-    rng = make_generator(seed, "fig12")
-    alphas, betas, gains = detection_sweep(
-        model,
-        rng,
-        deltas,
-        eta=lifting.eta,
-        rounds=rounds,
-        n_freeriders=samples_per_point,
-        n_honest=samples_per_point,
-    )
+    tasks = [
+        Task(
+            fn=_fig12_point,
+            args=(
+                model,
+                seed,
+                index,
+                float(delta),
+                lifting.eta,
+                rounds,
+                samples_per_point,
+            ),
+            key=float(delta),
+        )
+        for index, delta in enumerate(deltas)
+    ]
+    points = run_tasks(tasks, jobs=jobs)
+    if points:
+        alphas, betas, gains = (np.asarray(series) for series in zip(*points))
+    else:
+        alphas = betas = gains = np.empty(0)
     return Fig12Result(
         deltas=np.asarray(deltas, dtype=float),
         detection=alphas,

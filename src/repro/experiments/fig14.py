@@ -21,8 +21,9 @@ from dataclasses import dataclass, replace
 from typing import Dict, Sequence, Tuple
 
 from repro.config import FreeriderDegree, GossipParams, LiftingParams, planetlab_params
-from repro.experiments.cluster import ClusterConfig, SimCluster
+from repro.experiments.cluster import ClusterConfig
 from repro.metrics.scores import DetectionReport, detection_report
+from repro.runtime.parallel import Job, run_jobs
 
 #: the paper's freerider configuration (§7.1).
 PLANETLAB_DEGREE = FreeriderDegree(delta1=1.0 / 7.0, delta2=0.1, delta3=0.1)
@@ -67,6 +68,21 @@ class Fig14Result:
         return degraded / len(below)
 
 
+def _extract_scores(cluster) -> Dict[int, float]:
+    return cluster.scores()
+
+
+def _extract_roles(cluster) -> Tuple[frozenset, frozenset]:
+    # Roles are fixed at construction but this extractor runs at every
+    # checkpoint; returning one memoized pair lets pickle ship a single
+    # copy (memo references) instead of one per checkpoint.
+    roles = getattr(cluster, "_fig14_roles", None)
+    if roles is None:
+        roles = (frozenset(cluster.freerider_ids), frozenset(cluster.degraded_ids))
+        cluster._fig14_roles = roles
+    return roles
+
+
 def run_fig14(
     *,
     n: int = 120,
@@ -82,6 +98,7 @@ def run_fig14(
     chunk_size: int = 1400,
     calibration_duration: float = 20.0,
     false_positive_target: float = 0.01,
+    jobs: int = 1,
 ) -> Fig14Result:
     """Run the deployment for each ``p_dcc`` and snapshot scores.
 
@@ -94,27 +111,38 @@ def run_fig14(
 
     Compensation and the calibrated threshold come from an honest-only
     calibration run in the same environment (see
-    :mod:`repro.experiments.calibration`).
+    :mod:`repro.experiments.calibration`).  The per-``p_dcc`` clusters
+    derive their compensation from the calibration result, so the run
+    has two phases: the calibration job, then one independent job per
+    ``p_dcc`` (each snapshotting its scores at every time in ``times``
+    worker-side), both fanned out with ``jobs``.
     """
-    from repro.experiments.calibration import calibrate
+    from repro.experiments.calibration import calibration_job
+    from repro.util.validation import require
 
+    require(len(times) > 0, "times must name at least one snapshot instant")
     gossip_base, lifting_base = planetlab_params()
     gossip = replace(gossip_base, n=n, chunk_size=chunk_size)
-    calibration = calibrate(
-        gossip,
-        replace(lifting_base, p_dcc=max(p_dcc_values), assumed_loss_rate=loss_rate),
-        seed=seed + 1,
-        duration=calibration_duration,
-        loss_rate=loss_rate,
-        degraded_fraction=degraded_fraction,
-        degraded_loss=degraded_loss,
-        degraded_upload=degraded_upload,
+    [cal_result] = run_jobs(
+        [
+            calibration_job(
+                gossip,
+                replace(
+                    lifting_base, p_dcc=max(p_dcc_values), assumed_loss_rate=loss_rate
+                ),
+                seed=seed + 1,
+                duration=calibration_duration,
+                loss_rate=loss_rate,
+                degraded_fraction=degraded_fraction,
+                degraded_loss=degraded_loss,
+                degraded_upload=degraded_upload,
+            )
+        ],
+        jobs=jobs,
     )
-    snapshots: Dict[Tuple[float, float], Dict[int, float]] = {}
-    reports: Dict[Tuple[float, float], DetectionReport] = {}
-    freerider_ids: frozenset = frozenset()
-    degraded_ids: frozenset = frozenset()
+    calibration = cal_result.get("calibration")
 
+    job_list = []
     for p_dcc in p_dcc_values:
         lifting = replace(lifting_base, p_dcc=p_dcc, assumed_loss_rate=loss_rate)
         # Lower verification intensity produces proportionally fewer
@@ -143,15 +171,29 @@ def run_fig14(
             expulsion_enabled=False,
             compensation=compensation,
         )
-        cluster = SimCluster(config)
-        freerider_ids = frozenset(cluster.freerider_ids)
-        degraded_ids = frozenset(cluster.degraded_ids)
+        job_list.append(
+            Job(
+                config=config,
+                until=max(times),
+                checkpoints=tuple(sorted(times)),
+                extractors=(("scores", _extract_scores), ("roles", _extract_roles)),
+                key=p_dcc,
+            )
+        )
+    by_p_dcc = {result.key: result for result in run_jobs(job_list, jobs=jobs)}
+
+    snapshots: Dict[Tuple[float, float], Dict[int, float]] = {}
+    reports: Dict[Tuple[float, float], DetectionReport] = {}
+    freerider_ids: frozenset = frozenset()
+    degraded_ids: frozenset = frozenset()
+    for p_dcc in p_dcc_values:
+        result = by_p_dcc[p_dcc]
+        freerider_ids, degraded_ids = result.get("roles")
         for time in sorted(times):
-            cluster.run(until=time)
-            scores = cluster.scores()
+            scores = result.at("scores", float(time))
             snapshots[(p_dcc, time)] = scores
             reports[(p_dcc, time)] = detection_report(
-                scores, cluster.freerider_ids, lifting.eta
+                scores, set(freerider_ids), lifting_base.eta
             )
 
     return Fig14Result(

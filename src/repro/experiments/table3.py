@@ -11,12 +11,14 @@ slope.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.overhead import MessageCountModel, expected_message_counts, scaling_exponent
 from repro.config import GossipParams, planetlab_params
-from repro.experiments.cluster import ClusterConfig, SimCluster
+from repro.experiments.cluster import ClusterConfig
 from repro.metrics.overhead import message_counts_per_node_period
+from repro.runtime.parallel import Job, run_jobs
 
 
 @dataclass
@@ -33,6 +35,13 @@ class Table3Result:
         return self.measured.get(kind, 0.0)
 
 
+def _extract_message_counts(cluster, *, duration: float) -> Dict[str, float]:
+    gossip = cluster.config.gossip
+    return message_counts_per_node_period(
+        cluster.trace, duration, gossip.n, gossip.gossip_period
+    )
+
+
 def run_table3(
     *,
     n: int = 100,
@@ -40,35 +49,52 @@ def run_table3(
     seed: int = 29,
     p_dcc: float = 1.0,
     fanout_sweep: Sequence[int] = (4, 6, 8),
+    jobs: int = 1,
 ) -> Table3Result:
-    """Measure verification message counts and their fanout scaling."""
+    """Measure verification message counts and their fanout scaling.
+
+    The main deployment and each fanout-sweep deployment are
+    independent; ``jobs`` fans them out to a process pool.
+    """
     gossip_base, lifting_base = planetlab_params()
     gossip = replace(gossip_base, n=n)
     lifting = replace(lifting_base, p_dcc=p_dcc)
 
-    config = ClusterConfig(gossip=gossip, lifting=lifting, seed=seed)
-    cluster = SimCluster(config)
-    cluster.run(until=duration)
     # Exclude the cold-start: normalise over the full run but report the
     # steady-state approximation (duration is long enough to dominate).
-    measured = message_counts_per_node_period(
-        cluster.trace, duration, n, gossip.gossip_period
-    )
+    job_list = [
+        Job(
+            config=ClusterConfig(gossip=gossip, lifting=lifting, seed=seed),
+            until=duration,
+            extractors=(
+                ("counts", partial(_extract_message_counts, duration=duration)),
+            ),
+            key="main",
+        )
+    ]
+    for fanout in fanout_sweep:
+        job_list.append(
+            Job(
+                config=ClusterConfig(
+                    gossip=replace(gossip, fanout=fanout), lifting=lifting, seed=seed
+                ),
+                until=duration / 2,
+                extractors=(
+                    ("counts", partial(_extract_message_counts, duration=duration / 2)),
+                ),
+                key=("fanout", fanout),
+            )
+        )
+    by_key = {result.key: result for result in run_jobs(job_list, jobs=jobs)}
+
+    measured = by_key["main"].get("counts")
     model = expected_message_counts(
         gossip.fanout, gossip.request_size, p_dcc, lifting.managers
     )
-
-    sweep: List[Tuple[int, float]] = []
-    for fanout in fanout_sweep:
-        sweep_gossip = replace(gossip, fanout=fanout)
-        sweep_cluster = SimCluster(
-            ClusterConfig(gossip=sweep_gossip, lifting=lifting, seed=seed)
-        )
-        sweep_cluster.run(until=duration / 2)
-        counts = message_counts_per_node_period(
-            sweep_cluster.trace, duration / 2, n, gossip.gossip_period
-        )
-        sweep.append((fanout, counts.get("Confirm", 0.0)))
+    sweep: List[Tuple[int, float]] = [
+        (fanout, by_key[("fanout", fanout)].get("counts").get("Confirm", 0.0))
+        for fanout in fanout_sweep
+    ]
 
     xs = [f for f, _c in sweep if _c > 0]
     ys = [c for _f, c in sweep if c > 0]

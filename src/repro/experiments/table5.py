@@ -18,11 +18,12 @@ gossip rate, not the payload volume).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.config import planetlab_params
-from repro.experiments.cluster import ClusterConfig, SimCluster
+from repro.experiments.cluster import ClusterConfig
 from repro.metrics.overhead import OverheadReport
+from repro.runtime.parallel import Job, run_jobs
 
 PAPER_OVERHEAD_PERCENT = {
     (674.0, 0.0): 1.07,
@@ -62,6 +63,36 @@ class Table5Result:
         return out
 
 
+def _extract_overhead(cluster) -> OverheadReport:
+    return cluster.overhead()
+
+
+def table5_jobs(
+    *,
+    n: int = 100,
+    duration: float = 10.0,
+    seed: int = 31,
+    rates_kbps: Sequence[float] = (674.0, 1082.0, 2036.0),
+    p_dcc_values: Sequence[float] = (0.0, 0.5, 1.0),
+) -> List[Job]:
+    """One independent deployment job per ``(rate, p_dcc)`` grid cell."""
+    gossip_base, lifting_base = planetlab_params()
+    job_list: List[Job] = []
+    for rate in rates_kbps:
+        for p_dcc in p_dcc_values:
+            gossip = replace(gossip_base, n=n, stream_rate_kbps=rate)
+            lifting = replace(lifting_base, p_dcc=p_dcc)
+            job_list.append(
+                Job(
+                    config=ClusterConfig(gossip=gossip, lifting=lifting, seed=seed),
+                    until=duration,
+                    extractors=(("overhead", _extract_overhead),),
+                    key=(rate, p_dcc),
+                )
+            )
+    return job_list
+
+
 def run_table5(
     *,
     n: int = 100,
@@ -69,17 +100,23 @@ def run_table5(
     seed: int = 31,
     rates_kbps: Sequence[float] = (674.0, 1082.0, 2036.0),
     p_dcc_values: Sequence[float] = (0.0, 0.5, 1.0),
+    jobs: int = 1,
 ) -> Table5Result:
-    """Measure the overhead grid on a scaled-down deployment."""
-    gossip_base, lifting_base = planetlab_params()
-    cells: Dict[Tuple[float, float], OverheadReport] = {}
-    for rate in rates_kbps:
-        for p_dcc in p_dcc_values:
-            gossip = replace(gossip_base, n=n, stream_rate_kbps=rate)
-            lifting = replace(lifting_base, p_dcc=p_dcc)
-            cluster = SimCluster(
-                ClusterConfig(gossip=gossip, lifting=lifting, seed=seed)
-            )
-            cluster.run(until=duration)
-            cells[(rate, p_dcc)] = cluster.overhead()
+    """Measure the overhead grid on a scaled-down deployment.
+
+    The grid cells are independent deployments; ``jobs`` fans them out
+    to a process pool with bit-identical cells (every cell's seed and
+    RNG streams depend only on its config, never on the worker count).
+    """
+    job_list = table5_jobs(
+        n=n,
+        duration=duration,
+        seed=seed,
+        rates_kbps=rates_kbps,
+        p_dcc_values=p_dcc_values,
+    )
+    cells: Dict[Tuple[float, float], OverheadReport] = {
+        result.key: result.get("overhead")
+        for result in run_jobs(job_list, jobs=jobs)
+    }
     return Table5Result(cells=cells)

@@ -16,9 +16,27 @@ compensation machinery is exercised even on a loss-free loopback.
 Intended for functional deployments of tens of nodes in one process
 (see ``examples/live_cluster.py``); the discrete-event simulator remains
 the tool for measurements.
+
+The package also hosts the **parallel experiment orchestration** layer
+(:mod:`repro.runtime.parallel`): a declarative job API that fans
+independent simulated deployments out to a process pool with
+bit-identical results, used by every ``run_*`` experiment via its
+``jobs=`` parameter.
 """
 
 from repro.runtime.cluster import RuntimeCluster, RuntimeConfig
+from repro.runtime.parallel import Job, JobResult, Task, resolve_jobs, run_jobs, run_tasks
 from repro.runtime.transport import AsyncTransport, NodeRegistry
 
-__all__ = ["AsyncTransport", "NodeRegistry", "RuntimeCluster", "RuntimeConfig"]
+__all__ = [
+    "AsyncTransport",
+    "Job",
+    "JobResult",
+    "NodeRegistry",
+    "RuntimeCluster",
+    "RuntimeConfig",
+    "Task",
+    "resolve_jobs",
+    "run_jobs",
+    "run_tasks",
+]

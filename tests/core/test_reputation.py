@@ -215,3 +215,65 @@ class TestScoreBoard:
         board = ScoreBoard({})
         assert board.score(5, assignment) is None
         assert board.scores([5, 6], assignment) == {}
+
+    def _population(self, params, clock, hosts=range(20)):
+        gossip, lifting = params
+        assignment = ManagerAssignment(range(20), lifting.managers, seed=3)
+        managers = {
+            owner: ReputationManager(
+                owner=owner,
+                assignment=assignment,
+                gossip=gossip,
+                lifting=lifting,
+                now=clock,
+            )
+            for owner in hosts
+        }
+        return managers, assignment
+
+    def test_vectorised_scores_bit_identical_to_scalar(self, params):
+        """The numpy one-pass read must equal min-vote per node exactly."""
+        clock = FakeClock()
+        managers, assignment = self._population(params, clock)
+        for i, manager in enumerate(managers.values()):
+            for j, target in enumerate(assignment.managed_by(manager.owner)):
+                manager.on_blame(target, 1.0 + 0.37 * ((i * 7 + j) % 11))
+        clock.now = 1.7
+        board = ScoreBoard(managers)
+        vectorised = board.scores(range(20), assignment)
+        scalar = {
+            target: board.score(target, assignment)
+            for target in range(20)
+            if board.score(target, assignment) is not None
+        }
+        assert vectorised == scalar  # exact float equality, not approx
+
+    def test_cached_layout_sees_new_blames_and_time(self, params):
+        clock = FakeClock()
+        managers, assignment = self._population(params, clock)
+        board = ScoreBoard(managers)
+        clock.now = 1.0
+        first = board.scores(range(20), assignment)
+        for manager in managers.values():
+            for target in assignment.managed_by(manager.owner):
+                manager.on_blame(target, 5.0)
+        clock.now = 3.0
+        second = board.scores(range(20), assignment)
+        assert first != second
+        scalar = {t: board.score(t, assignment) for t in range(20)}
+        assert second == {t: v for t, v in scalar.items() if v is not None}
+
+    def test_vectorised_scores_with_partial_manager_population(self, params):
+        """Unreachable managers are skipped, exactly like the scalar path."""
+        clock = FakeClock()
+        managers, assignment = self._population(params, clock, hosts=range(0, 20, 2))
+        clock.now = 2.0
+        board = ScoreBoard(managers)
+        vectorised = board.scores(range(20), assignment)
+        scalar = {
+            target: board.score(target, assignment)
+            for target in range(20)
+            if board.score(target, assignment) is not None
+        }
+        assert vectorised == scalar
+        assert set(vectorised) == set(scalar)
