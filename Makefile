@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench-parallel bench-check bench-check-fast bench-baseline bench-full
+.PHONY: test bench-smoke bench-parallel bench-scaling bench-scaling-smoke bench-check bench-check-fast bench-baseline bench-full
 
 ## Tier-1 test suite (must stay green).
 test:
@@ -17,6 +17,13 @@ bench-smoke:
 ## Parallel orchestration scaling + equivalence (speedup asserted on >=4 cores).
 bench-parallel:
 	python -m pytest benchmarks/bench_parallel_experiments.py -q
+
+## Large-n scalability curve (s per sim-second vs n); --record to persist.
+bench-scaling:
+	python benchmarks/bench_scaling_curve.py
+
+bench-scaling-smoke:
+	python benchmarks/bench_scaling_curve.py --smoke
 
 ## Compare substrate kernels against benchmarks/BENCH_substrate.json;
 ## fails on a >30% regression. Use bench-check-fast to skip the

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""The large-n scalability curve: s of wall clock per simulated second vs n.
+
+Runs :func:`repro.experiments.scaling.run_scaling` over a size sweep and
+prints (and optionally records) the curve.  This is the benchmark behind
+the "Scaling with n" section of ``docs/PERFORMANCE.md`` and the
+``scaling`` section of ``benchmarks/BENCH_substrate.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scaling_curve.py                # 100/300/1000
+    PYTHONPATH=src python benchmarks/bench_scaling_curve.py --include-2000 # opt-in n=2000
+    PYTHONPATH=src python benchmarks/bench_scaling_curve.py --smoke       # tiny CI sweep
+    PYTHONPATH=src python benchmarks/bench_scaling_curve.py --record      # write the JSON
+
+``--smoke`` runs a tiny sweep (n=40/80, one timed simulated second) that
+asserts the sweep machinery end to end without meaningful load — CI runs
+it on every push.  ``--record`` rewrites the ``scaling`` section of
+``BENCH_substrate.json`` from the measured full sweep; do that on an
+idle machine only (and prefer ``--jobs 1``, the default, so the points
+do not contend for cores).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parent / "BENCH_substrate.json"
+
+SMOKE_SIZES = (40, 80)
+FULL_SIZES = (100, 300, 1000)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=None, help="override the size sweep")
+    parser.add_argument("--smoke", action="store_true", help="tiny fast sweep (CI)")
+    parser.add_argument("--include-2000", action="store_true", help="opt-in n=2000 point (slow)")
+    parser.add_argument("--duration", type=float, default=None, help="timed simulated seconds per size")
+    parser.add_argument("--warmup", type=float, default=None, help="warm-up simulated seconds per size")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (keep 1 for baselines)")
+    parser.add_argument("--record", action="store_true", help="write the curve into BENCH_substrate.json")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.scaling import run_scaling
+
+    if args.smoke:
+        sizes = list(args.sizes or SMOKE_SIZES)
+        duration = args.duration if args.duration is not None else 1.0
+        warmup = args.warmup if args.warmup is not None else 0.5
+    else:
+        sizes = list(args.sizes or FULL_SIZES)
+        duration = args.duration if args.duration is not None else 3.0
+        warmup = args.warmup if args.warmup is not None else 2.0
+    if args.include_2000 and 2000 not in sizes:
+        sizes.append(2000)
+
+    result = run_scaling(
+        sizes=sizes, duration=duration, warmup=warmup, seed=args.seed, jobs=args.jobs
+    )
+    print("     n  s/sim-s   events/s")
+    for n, sps, eps in result.rows():
+        print(f"{n:6d}  {sps:7.3f}  {eps:9,.0f}")
+
+    for point in result.points:
+        sps = point.s_per_sim_second
+        if not (math.isfinite(sps) and sps > 0):
+            print(f"FAIL: nonsense timing for n={point.n}: {sps}", file=sys.stderr)
+            return 1
+        if point.events <= 0:
+            print(f"FAIL: no events fired for n={point.n}", file=sys.stderr)
+            return 1
+
+    if args.record:
+        data = json.loads(BENCH_FILE.read_text())
+        data["scaling"] = {
+            "note": (
+                "Large-n scalability curve (benchmarks/bench_scaling_curve.py, "
+                "jobs=1 on an idle machine): wall-clock seconds per simulated "
+                "second of a warm PlanetLab-style deployment (fanout 5, 10 "
+                "managers, seed below), per system size. The per-node cost is "
+                "what the flattened hot paths keep roughly constant; refresh "
+                "together with the 'current' kernels."
+            ),
+            **result.as_dict(),
+        }
+        BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"recorded scaling curve in {BENCH_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

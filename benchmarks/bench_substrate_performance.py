@@ -11,6 +11,8 @@ against the recorded ``current`` numbers.  See ``docs/PERFORMANCE.md``
 for the kernel design and how to refresh the baselines.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -120,28 +122,41 @@ def test_blame_sampler_throughput(benchmark):
     benchmark(lambda: model.sample_period_blames(rng, 100_000))
 
 
-def test_cluster_simulated_second(benchmark):
-    """Wall-clock cost of one simulated second of a 300-node deployment
-    (the Figure 14 PlanetLab scale)."""
-    from dataclasses import replace
+def _cluster_simulated_second(benchmark, n, warmup, rounds):
+    from repro.experiments.cluster import SimCluster
+    from repro.experiments.scaling import scaling_config
 
-    from repro.config import planetlab_params
-    from repro.experiments.cluster import ClusterConfig, SimCluster
+    cluster = SimCluster(scaling_config(n, seed=1))
+    cluster.run(until=warmup)
 
-    gossip, lifting = planetlab_params()
-    gossip = replace(gossip, n=300, fanout=5, source_fanout=5)
-    lifting = replace(lifting, managers=10)
-    cluster = SimCluster(ClusterConfig(gossip=gossip, lifting=lifting, seed=1))
-    cluster.run(until=3.0)  # warm-up
-
-    state = {"until": 3.0}
+    state = {"until": warmup}
 
     def one_second():
         state["until"] += 1.0
         cluster.run(until=state["until"])
 
-    benchmark.pedantic(one_second, rounds=5, iterations=1)
+    benchmark.pedantic(one_second, rounds=rounds, iterations=1)
     record_report(
         "substrate_performance",
-        f"events processed in warm n=300 deployment: {cluster.sim.events_processed}",
+        f"events processed in warm n={n} deployment: {cluster.sim.events_processed}",
     )
+
+
+def test_cluster_simulated_second(benchmark):
+    """Wall-clock cost of one simulated second of a 300-node deployment
+    (the Figure 14 PlanetLab scale)."""
+    _cluster_simulated_second(benchmark, n=300, warmup=3.0, rounds=5)
+
+
+def test_cluster1000_simulated_second(benchmark):
+    """Same kernel at the large-n target size (n=1000)."""
+    _cluster_simulated_second(benchmark, n=1000, warmup=2.0, rounds=2)
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_FULL"),
+    reason="n=2000 cluster bench is opt-in (REPRO_BENCH_FULL=1)",
+)
+def test_cluster2000_simulated_second(benchmark):
+    """Opt-in n=2000 point of the scaling curve (slow)."""
+    _cluster_simulated_second(benchmark, n=2000, warmup=2.0, rounds=2)

@@ -2,8 +2,8 @@
 """Guard the simulation substrate's performance.
 
 Re-times the substrate kernels (event engine, network send/deliver,
-300-node cluster, Table 5's six-cell experiment grid through the
-parallel orchestration layer) and compares them against the
+300- and 1000-node clusters, Table 5's six-cell experiment grid through
+the parallel orchestration layer) and compares them against the
 ``current`` baselines in ``benchmarks/BENCH_substrate.json``.  Exits
 non-zero if any kernel regressed by more than ``TOLERANCE`` (30 %).
 
@@ -109,27 +109,32 @@ def bench_send_deliver() -> float:
     return 10_000 / best_of(run_10k, reps=7)
 
 
-def bench_cluster300() -> float:
-    """Seconds of wall clock per simulated second, warm 300-node run."""
-    from dataclasses import replace
+def _bench_cluster(n: int, warmup: float, reps: int) -> float:
+    """Seconds of wall clock per simulated second, warm ``n``-node run."""
+    from repro.experiments.scaling import scaling_config
+    from repro.experiments.cluster import SimCluster
 
-    from repro.config import planetlab_params
-    from repro.experiments.cluster import ClusterConfig, SimCluster
-
-    gossip, lifting = planetlab_params()
-    gossip = replace(gossip, n=300, fanout=5, source_fanout=5)
-    lifting = replace(lifting, managers=10)
-    cluster = SimCluster(ClusterConfig(gossip=gossip, lifting=lifting, seed=1))
-    cluster.run(until=3.0)  # warm-up
+    cluster = SimCluster(scaling_config(n, seed=1))
+    cluster.run(until=warmup)
 
     best = float("inf")
-    until = 3.0
-    for _ in range(3):
+    until = warmup
+    for _ in range(reps):
         until += 1.0
         start = time.perf_counter()
         cluster.run(until=until)
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def bench_cluster300() -> float:
+    """The n=300 (PlanetLab scale) cluster kernel."""
+    return _bench_cluster(300, warmup=3.0, reps=3)
+
+
+def bench_cluster1000() -> float:
+    """The n=1000 (large-n target) cluster kernel."""
+    return _bench_cluster(1000, warmup=2.0, reps=2)
 
 
 _SERIAL_GRID_S: list = []  # memo so the speedup check reuses the kernel's run
@@ -159,13 +164,18 @@ KERNELS = {
     "engine_events_per_s": (bench_engine, True),
     "send_deliver_msgs_per_s": (bench_send_deliver, True),
     "cluster300_s_per_sim_second": (bench_cluster300, False),
+    "cluster1000_s_per_sim_second": (bench_cluster1000, False),
     "table5_6cell_grid_serial_s": (bench_table5_grid_serial, False),
 }
+
+#: kernels skipped by --skip-cluster (the slow deployment-scale ones).
+CLUSTER_KERNELS = ("cluster300_s_per_sim_second", "cluster1000_s_per_sim_second")
 
 UNITS = {
     "engine_events_per_s": "ops/s",
     "send_deliver_msgs_per_s": "ops/s",
     "cluster300_s_per_sim_second": "s/sim-s",
+    "cluster1000_s_per_sim_second": "s/sim-s",
     "table5_6cell_grid_serial_s": "s",
 }
 
@@ -173,7 +183,7 @@ UNITS = {
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true", help="write measured numbers as the new 'current' baselines")
-    parser.add_argument("--skip-cluster", action="store_true", help="skip the (slower) 300-node cluster kernel")
+    parser.add_argument("--skip-cluster", action="store_true", help="skip the (slower) 300- and 1000-node cluster kernels")
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -190,7 +200,7 @@ def main(argv=None) -> int:
     failures = []
 
     for key, (runner, higher_is_better) in KERNELS.items():
-        if args.skip_cluster and key == "cluster300_s_per_sim_second":
+        if args.skip_cluster and key in CLUSTER_KERNELS:
             continue
         measured = runner()
         baseline = current.get(key)

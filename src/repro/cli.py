@@ -11,12 +11,17 @@ script when packaged).  Subcommands:
   stream rates and cross-checking probabilities.
 * ``analyze`` — print the closed-form design constants for a parameter
   set (b̃, detection bounds, entropy ceilings).
+* ``scale`` — the large-n scalability sweep: wall-clock seconds per
+  simulated second for a range of deployment sizes.
 * ``live`` — run the asyncio runtime over real loopback sockets.
 
 Experiments that drive several independent deployments (``health``,
-``overhead``) accept ``--jobs N`` to fan them out over N worker
-processes (``--jobs 0`` = all cores); results are bit-identical to the
-serial run.
+``overhead``, ``scale``) accept ``--jobs N`` to fan them out over N
+worker processes (``--jobs 0`` = all cores); results are bit-identical
+to the serial run (for ``scale``, use ``--jobs 1`` when the timings are
+meant as baselines).  The simulation-driving subcommands accept
+``--profile PATH`` to dump sorted cProfile stats of the run — the
+starting point of every performance PR (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -46,6 +51,15 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="dump sorted cProfile stats of the run to PATH",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -61,10 +75,12 @@ def _build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--delta3", type=float, default=0.1)
     detect.add_argument("--p-dcc", type=float, default=1.0, help="cross-check probability")
     detect.add_argument("--expel", action="store_true", help="enforce expulsion")
+    _add_profile(detect)
 
     health = sub.add_parser("health", help="Figure 1's three health curves")
     _add_common(health)
     _add_jobs(health)
+    _add_profile(health)
     health.add_argument("--freeriders", type=float, default=0.25)
 
     overhead = sub.add_parser("overhead", help="Table 5's bandwidth-overhead grid")
@@ -72,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
     overhead.add_argument("--seed", type=int, default=31, help="experiment seed")
     overhead.add_argument("--duration", type=float, default=10.0, help="simulated seconds")
     _add_jobs(overhead)
+    _add_profile(overhead)
     overhead.add_argument(
         "--rates", type=float, nargs="+", default=[674.0, 1082.0, 2036.0],
         help="stream rates (kbps)",
@@ -87,6 +104,17 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--loss", type=float, default=0.07)
     analyze.add_argument("--colluders", type=int, default=25)
     analyze.add_argument("--history", type=int, default=50, help="n_h periods")
+
+    scale = sub.add_parser("scale", help="large-n scalability sweep (s per sim-second vs n)")
+    scale.add_argument(
+        "--sizes", type=int, nargs="+", default=[100, 300, 1000],
+        help="deployment sizes to measure",
+    )
+    scale.add_argument("--duration", type=float, default=3.0, help="timed simulated seconds per size")
+    scale.add_argument("--warmup", type=float, default=2.0, help="warm-up simulated seconds per size")
+    scale.add_argument("--seed", type=int, default=1, help="deployment seed")
+    _add_jobs(scale)
+    _add_profile(scale)
 
     live = sub.add_parser("live", help="run over real loopback sockets (asyncio)")
     live.add_argument("--nodes", "-n", type=int, default=12)
@@ -199,6 +227,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.experiments.scaling import run_scaling
+
+    result = run_scaling(
+        sizes=args.sizes,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    print("     n  s/sim-s   events/s")
+    for n, sps, eps in result.rows():
+        print(f"{n:6d}  {sps:7.3f}  {eps:9,.0f}")
+    return 0
+
+
 def _cmd_live(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -225,9 +269,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "health": _cmd_health,
         "overhead": _cmd_overhead,
         "analyze": _cmd_analyze,
+        "scale": _cmd_scale,
         "live": _cmd_live,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    profile_path = getattr(args, "profile", None)
+    if profile_path:
+        from repro.util.profiling import maybe_profile
+
+        with maybe_profile(profile_path):
+            return handler(args)
+    return handler(args)
 
 
 if __name__ == "__main__":

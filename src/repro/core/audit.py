@@ -225,10 +225,14 @@ class Auditor:
         gossip = self.host.gossip
         full_window = lifting.history_periods * gossip.fanout
 
+        # Array-backed counting: one bincount pass over the claimed
+        # partner ids instead of a Python-level add per history entry;
+        # the multiset's maintained accumulator then gives both
+        # entropies in O(1) (no per-audit re-summation).
         fanout: Multiset = Multiset()
-        for _period, partners, _chunk_ids in state.proposals:
-            for partner in partners:
-                fanout.add(partner)
+        claimed = [p for _period, partners, _chunk_ids in state.proposals for p in partners]
+        if claimed:
+            fanout.add_ids(claimed)
 
         result = AuditResult(
             target=state.target,

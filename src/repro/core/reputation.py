@@ -155,6 +155,33 @@ class ReputationManager:
         record.blame_total += value
         record.blame_events += 1
 
+    def on_blame_message(self, src: NodeId, message) -> None:
+        """Wire-level blame handler (dispatch-table entry point).
+
+        Same effect as :meth:`on_blame`; bound directly into the hosting
+        node's dispatch table so a delivered ``Blame`` costs one frame.
+        """
+        record = self.records.get(message.target)
+        if record is None:
+            return
+        record.blame_total += message.value
+        record.blame_events += 1
+
+    def on_blame_batch(self, targets, values) -> None:
+        """Apply one period's batched blames: arrays of (target, value).
+
+        Equivalent to calling :meth:`on_blame` per pair in order (each
+        pair is one recorded blame event, applied with the same float
+        addition sequence — bit-identical scores).
+        """
+        records = self.records
+        for target, value in zip(targets, values):
+            record = records.get(target)
+            if record is None:
+                continue
+            record.blame_total += value
+            record.blame_events += 1
+
     def periods_elapsed(self, record: ManagerRecord) -> float:
         """``r`` — gossip periods the target has spent in the system."""
         elapsed = (self.now() - record.joined_at) / self.gossip.gossip_period
@@ -177,17 +204,27 @@ class ReputationManager:
     def expulsion_candidates(self) -> List[NodeId]:
         """Managed nodes this manager should now vote to expel.
 
-        Marks them as voted so each manager votes at most once.
+        Marks them as voted so each manager votes at most once.  This
+        sweep runs once per gossip period over every managed record, so
+        the per-record score arithmetic is inlined (same IEEE operations
+        as :meth:`periods_elapsed` / :meth:`normalized_score`).
         """
         candidates: List[NodeId] = []
+        now = self.now()
+        period = self.gossip.gossip_period
+        min_r = self.lifting.min_periods_before_expel
+        eta = self.lifting.eta
+        compensation = self.compensation
         for target, record in self.records.items():
             if record.voted_expel or record.expelled:
                 continue
-            r = self.periods_elapsed(record)
-            if r < self.lifting.min_periods_before_expel:
+            r = (now - record.joined_at) / period
+            if r < 1e-9:
+                r = 1e-9
+            if r < min_r:
                 continue
-            score = self.compensation - record.blame_total / r
-            if score < self.lifting.eta:
+            score = compensation - record.blame_total / r
+            if score < eta:
                 record.voted_expel = True
                 record.expel_votes.add(self.owner)
                 candidates.append(target)
@@ -349,6 +386,55 @@ class ScoreBoard:
         )
         self._layouts[key] = layout
         return layout
+
+    def ingest_blames(
+        self,
+        assignment: ManagerAssignment,
+        targets,
+        values,
+    ) -> int:
+        """Batch-apply arrays of ``(target, value)`` blames.
+
+        Routes every blame to all of its target's reachable managers —
+        the offline/replay equivalent of delivering one ``Blame``
+        message per (blame, manager) pair (used by the Monte-Carlo
+        replay flow, ``examples/blame_replay.py``), collapsed into a
+        single pass:
+        per-target totals and event counts are aggregated first (one
+        numpy reduction), then each manager record receives one
+        ``blame_total`` addition.  Score reads after a full batch match
+        the per-message path up to float summation order (documented
+        ulp-level reassociation; the per-message path adds values one at
+        a time).  Returns the number of blame events routed to at least
+        one manager record.
+        """
+        targets = np.asarray(targets)
+        values = np.asarray(values, dtype=float)
+        require(targets.shape == values.shape, "targets/values length mismatch")
+        if targets.size == 0:
+            return 0
+        unique, inverse = np.unique(targets, return_inverse=True)
+        totals = np.zeros(unique.size)
+        np.add.at(totals, inverse, values)
+        counts = np.bincount(inverse, minlength=unique.size)
+        routed = 0
+        managers = self._managers
+        for target, total, events in zip(unique, totals, counts):
+            target = int(target)
+            hit = False
+            for manager_id in assignment.managers_of(target):
+                manager = managers.get(manager_id)
+                if manager is None:
+                    continue
+                record = manager.records.get(target)
+                if record is None:
+                    continue
+                record.blame_total += total
+                record.blame_events += int(events)
+                hit = True
+            if hit:
+                routed += int(events)
+        return routed
 
     def scores(
         self, targets: Iterable[NodeId], assignment: ManagerAssignment

@@ -47,7 +47,7 @@ NodeId = int
 ChunkId = int
 
 
-@dataclass
+@dataclass(slots=True)
 class _ConfirmRound:
     """One verifier-side cross-check: witnesses we are waiting on."""
 
@@ -57,7 +57,7 @@ class _ConfirmRound:
     answered: Set[NodeId] = field(default_factory=set)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRequest:
     """One direct-verification window for a request we sent."""
 
@@ -75,6 +75,9 @@ class VerificationEngine:
 
     def __init__(self, host) -> None:
         self.host = host
+        # Fan-out batching entry point when the host offers one (the
+        # simulator-backed GossipNode does; test stubs may not).
+        self._host_send_many = getattr(host, "send_many", None)
         # requester -> {chunk_id: serve time}; awaiting an ack.
         self._pending_acks: Dict[NodeId, Dict[ChunkId, float]] = {}
         self._confirm_rounds: Dict[int, _ConfirmRound] = {}
@@ -131,11 +134,18 @@ class VerificationEngine:
         self._confirm_rounds[round_id] = _ConfirmRound(proposer=proposer, witnesses=witnesses)
         self.confirm_rounds_started += 1
         confirm = Confirm(proposer=proposer, chunk_ids=ack.chunk_ids)
+        awaiting = self._awaiting_response
         for witness in witnesses:
-            self._awaiting_response[(proposer, witness)].append(round_id)
-            self.host.send(witness, confirm)
-        self.host.call_later(
-            self.host.lifting.confirm_timeout, self._finish_confirm_round, round_id
+            awaiting[(proposer, witness)].append(round_id)
+        host = self.host
+        send_many = self._host_send_many
+        if send_many is not None:
+            send_many(witnesses, confirm)
+        else:
+            for witness in witnesses:
+                host.send(witness, confirm)
+        host.call_later(
+            host.lifting.confirm_timeout, self._finish_confirm_round, round_id
         )
 
     def on_confirm_response(self, src: NodeId, response: ConfirmResponse) -> None:

@@ -159,7 +159,7 @@ class SimCluster:
                 rng=seeds.generator("node", node_id),
                 lifting_enabled=config.lifting_enabled,
                 compensation=self.compensation,
-                chunk_created_at=self.source.created_at,
+                chunk_created_at=self.source.created_times.__getitem__,
                 on_expel_quorum=self._on_expel_quorum,
                 p_audit=config.p_audit,
             )
@@ -211,10 +211,18 @@ class SimCluster:
         for node in self.nodes.values():
             node.start()
 
-    def run(self, until: float) -> None:
-        """Advance simulated time to ``until`` (starting if needed)."""
+    def run(self, until: float, profile_to: Optional[str] = None) -> None:
+        """Advance simulated time to ``until`` (starting if needed).
+
+        ``profile_to`` dumps sorted ``cProfile`` stats of the advance to
+        that path — the evidence-gathering hook behind the CLI's
+        ``--profile`` flag (see docs/PERFORMANCE.md).
+        """
         self.start()
-        self.sim.run(until=until)
+        from repro.util.profiling import maybe_profile
+
+        with maybe_profile(profile_to):
+            self.sim.run(until=until)
 
     # ------------------------------------------------------------------
     # measurements

@@ -1,0 +1,126 @@
+"""Large-n scalability sweep: wall-clock cost per simulated second vs n.
+
+Not a paper artefact — LiFTinG was validated on ~300 PlanetLab nodes,
+and the ROADMAP's north star needs single deployments far beyond that.
+This experiment measures how expensive one simulated second of a
+PlanetLab-style deployment is as the system size grows, producing the
+scaling curve recorded in ``benchmarks/BENCH_substrate.json`` (see
+``benchmarks/bench_scaling_curve.py`` and the "Scaling with n" section
+of ``docs/PERFORMANCE.md``).
+
+Timing runs *inside* the worker around a warmed-up cluster, so a
+multi-process sweep (``jobs > 1``) still times each deployment
+correctly — but concurrent workers contend for cores, so curves meant
+as performance baselines should be recorded with ``jobs=1``; ``jobs``
+exists for functional smoke sweeps (CI) where wall accuracy is
+secondary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+from repro.config import planetlab_params
+from repro.experiments.cluster import ClusterConfig, SimCluster
+from repro.runtime.parallel import Task, run_tasks
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Measured cost of one deployment size."""
+
+    n: int
+    wall_seconds: float
+    sim_seconds: float
+    #: engine events fired during the timed window.
+    events: int
+
+    @property
+    def s_per_sim_second(self) -> float:
+        """Wall-clock seconds spent per simulated second."""
+        return self.wall_seconds / self.sim_seconds
+
+    @property
+    def events_per_wall_second(self) -> float:
+        """Engine throughput during the timed window."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """The measured curve of a size sweep."""
+
+    points: Tuple[ScalingPoint, ...]
+    warmup: float
+    duration: float
+    seed: int
+
+    def rows(self) -> Tuple[Tuple[int, float, float], ...]:
+        """(n, s_per_sim_second, events_per_wall_second) per size."""
+        return tuple(
+            (p.n, p.s_per_sim_second, p.events_per_wall_second) for p in self.points
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (used by the benchmark recorder)."""
+        return {
+            "warmup_sim_s": self.warmup,
+            "duration_sim_s": self.duration,
+            "seed": self.seed,
+            "s_per_sim_second": {str(p.n): round(p.s_per_sim_second, 4) for p in self.points},
+        }
+
+
+def scaling_config(n: int, seed: int = 1) -> ClusterConfig:
+    """The deployment the sweep times: PlanetLab parameters at size ``n``.
+
+    Mirrors the ``cluster300`` regression kernel (fanout 5, 10 managers)
+    so curve points are comparable with the recorded baselines.
+    """
+    gossip, lifting = planetlab_params()
+    gossip = replace(gossip, n=n, fanout=5, source_fanout=5)
+    lifting = replace(lifting, managers=10)
+    return ClusterConfig(gossip=gossip, lifting=lifting, seed=seed)
+
+
+def _measure_point(n: int, seed: int, warmup: float, duration: float) -> ScalingPoint:
+    """Worker body: build, warm up, time ``duration`` simulated seconds."""
+    cluster = SimCluster(scaling_config(n, seed=seed))
+    cluster.run(until=warmup)
+    events_before = cluster.sim.events_processed
+    start = time.perf_counter()
+    cluster.run(until=warmup + duration)
+    wall = time.perf_counter() - start
+    return ScalingPoint(
+        n=n,
+        wall_seconds=wall,
+        sim_seconds=duration,
+        events=cluster.sim.events_processed - events_before,
+    )
+
+
+def run_scaling(
+    sizes: Sequence[int] = (100, 300, 1000),
+    *,
+    duration: float = 3.0,
+    warmup: float = 2.0,
+    seed: int = 1,
+    jobs: int = 1,
+) -> ScalingResult:
+    """Measure the s-per-sim-second curve over ``sizes``."""
+    require(len(sizes) >= 1, "need at least one size")
+    require(duration > 0, "duration must be > 0")
+    require(warmup >= 0, "warmup must be >= 0")
+    tasks = [
+        Task(fn=_measure_point, args=(int(n), seed, warmup, duration), key=int(n))
+        for n in sizes
+    ]
+    points = run_tasks(tasks, jobs=jobs)
+    return ScalingResult(
+        points=tuple(points), warmup=warmup, duration=duration, seed=seed
+    )

@@ -50,6 +50,10 @@ class ChunkStore:
         self._received_at: Dict[ChunkId, float] = {}
         self._sizes: Dict[ChunkId, int] = {}
         self._created_at: Dict[ChunkId, float] = {}
+        #: stable public alias of the chunk-id -> reception-time map;
+        #: hot paths test membership against it directly instead of
+        #: paying a ``__contains__`` frame per chunk id.
+        self.owned = self._received_at
 
     def add(self, chunk_id: ChunkId, size: int, received_at: float, created_at: float) -> bool:
         """Record a chunk; returns False if it was already owned."""
@@ -106,6 +110,11 @@ class StreamSource:
         self.params = params
         self.stop_after = stop_after
         self.chunks: List[Chunk] = []
+        #: chunk id -> creation time as a plain list (chunk ids are
+        #: dense).  Nodes bind ``created_times.__getitem__`` as their
+        #: ``chunk_created_at`` hook — a C-level lookup on the serve
+        #: path instead of a method frame.
+        self.created_times: List[float] = []
         self._next_id = 0
         self._timer = None
 
@@ -127,15 +136,15 @@ class StreamSource:
         chunk = Chunk(self._next_id, created_at=self.sim.now, size=self.params.chunk_size)
         self._next_id += 1
         self.chunks.append(chunk)
+        self.created_times.append(chunk.created_at)
         targets = self.sampler.sample(self.node_id, self.params.source_fanout)
-        for target in targets:
-            serve = Serve(
-                proposal_id=-1,
-                chunk_id=chunk.chunk_id,
-                payload_size=chunk.size,
-                origin=SOURCE_ID,
-            )
-            self.network.send(self.node_id, target, serve, Transport.UDP)
+        serve = Serve(
+            proposal_id=-1,
+            chunk_id=chunk.chunk_id,
+            payload_size=chunk.size,
+            origin=SOURCE_ID,
+        )
+        self.network.send_many(self.node_id, targets, serve, Transport.UDP)
 
     def on_message(self, src: NodeId, message: object) -> None:
         """The source ignores inbound protocol traffic (acks etc.)."""
@@ -147,4 +156,4 @@ class StreamSource:
 
     def created_at(self, chunk_id: ChunkId) -> float:
         """Creation time of ``chunk_id``."""
-        return self.chunks[chunk_id].created_at
+        return self.created_times[chunk_id]

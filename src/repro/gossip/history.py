@@ -14,13 +14,34 @@ gossip periods (§5):
 
 The history is a ring of per-period records; appending is O(1) and the
 memory bound is ``n_h`` records regardless of run length.
+
+Flattened layout
+----------------
+The ring preallocates its :class:`PeriodRecord` slots and *reuses* them
+on wraparound (containers are cleared in place), so a steady-state node
+allocates no per-period record objects.  Alongside the raw ring the
+history maintains:
+
+* the full-window fanout :class:`~repro.util.multiset.Multiset` and the
+  propose-event count, updated incrementally on record/evict — the
+  audited aggregates read in O(1) instead of a scan.  (The fanin
+  multiset stays a lazy scan: it is only read by diagnostics, while
+  ``record_fanin`` runs once per received chunk.);
+* per-proposer indexes over received proposals and confirm senders, so
+  the witness queries (:meth:`was_proposed_by`,
+  :meth:`confirm_senders_about` — both run per Confirm / HistoryPoll
+  message) touch only the queried proposer's entries instead of every
+  record in the window.
+
+Records returned by :meth:`records` are the live ring slots: they are
+valid until the ring wraps past them, at which point they are recycled.
+Take snapshots (:meth:`proposals_snapshot`) to retain data beyond that.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.util.multiset import Multiset
 from repro.util.validation import require
@@ -44,6 +65,9 @@ class PeriodRecord:
     received_proposals: Dict[NodeId, Set[ChunkId]] = field(default_factory=dict)
     #: proposer -> verifiers that sent us a Confirm about that proposer.
     confirm_senders: Dict[NodeId, List[NodeId]] = field(default_factory=dict)
+    #: monotone position of this record in the ring (internal: the
+    #: per-proposer indexes and window queries key on it).
+    seq: int = 0
 
 
 class LocalHistory:
@@ -52,54 +76,143 @@ class LocalHistory:
     def __init__(self, max_periods: int) -> None:
         require(max_periods >= 1, "max_periods must be >= 1, got %d", max_periods)
         self.max_periods = max_periods
-        self._records: Deque[PeriodRecord] = deque(maxlen=max_periods)
+        self._slots: List[Optional[PeriodRecord]] = [None] * max_periods
         self._current: Optional[PeriodRecord] = None
+        #: number of begin_period calls so far (== seq of the open record).
+        self._seq = 0
+        # Incrementally maintained full-window aggregates.
+        self._fanout: Multiset = Multiset()
+        self._proposal_count = 0
+        # proposer -> {seq -> chunk-id set} (the sets are shared with the
+        # owning record's ``received_proposals``).
+        self._received_idx: Dict[NodeId, Dict[int, Set[ChunkId]]] = {}
+        # proposer -> {seq -> verifier list} (shared with
+        # ``confirm_senders``), chronological per proposer.
+        self._confirm_idx: Dict[NodeId, Dict[int, List[NodeId]]] = {}
 
     # ------------------------------------------------------------------
     # writing
     # ------------------------------------------------------------------
     def begin_period(self, period: int) -> None:
         """Open the record of gossip period ``period``."""
-        record = PeriodRecord(period=period)
-        self._records.append(record)
+        seq = self._seq + 1
+        self._seq = seq
+        slot = (seq - 1) % self.max_periods
+        record = self._slots[slot]
+        if record is None:
+            record = PeriodRecord(period=period, seq=seq)
+            self._slots[slot] = record
+        else:
+            self._evict(record)
+            record.period = period
+            record.seq = seq
+            record.proposal = None
+            record.fanin.clear()
+            record.received_proposals.clear()
+            record.confirm_senders.clear()
         self._current = record
 
+    def _evict(self, record: PeriodRecord) -> None:
+        """Unwind an overwritten record from the incremental aggregates."""
+        if record.proposal is not None:
+            self._proposal_count -= 1
+            fanout = self._fanout
+            for partner in record.proposal[0]:
+                fanout.discard(partner)
+        seq = record.seq
+        if record.received_proposals:
+            received_idx = self._received_idx
+            for proposer in record.received_proposals:
+                per_seq = received_idx[proposer]
+                del per_seq[seq]
+                if not per_seq:
+                    del received_idx[proposer]
+        if record.confirm_senders:
+            confirm_idx = self._confirm_idx
+            for proposer in record.confirm_senders:
+                per_seq = confirm_idx[proposer]
+                del per_seq[seq]
+                if not per_seq:
+                    del confirm_idx[proposer]
+
     def _ensure_open(self) -> PeriodRecord:
-        require(self._current is not None, "no open period — call begin_period first")
-        return self._current
+        record = self._current
+        if record is None:
+            require(False, "no open period — call begin_period first")
+        return record
 
     def record_proposal(
         self, partners: Tuple[NodeId, ...], chunk_ids: Tuple[ChunkId, ...]
     ) -> None:
         """Log this period's propose event (one per period)."""
-        self._ensure_open().proposal = (tuple(partners), tuple(chunk_ids))
+        record = self._ensure_open()
+        fanout = self._fanout
+        if record.proposal is not None:  # overwrite: unwind the old event
+            self._proposal_count -= 1
+            for partner in record.proposal[0]:
+                fanout.discard(partner)
+        partners = tuple(partners)
+        record.proposal = (partners, tuple(chunk_ids))
+        self._proposal_count += 1
+        for partner in partners:
+            fanout.add(partner)
 
     def record_fanin(self, server: NodeId) -> None:
         """Log that ``server`` served us a chunk this period."""
-        self._ensure_open().fanin.append(server)
+        record = self._current
+        if record is None:
+            self._ensure_open()
+        record.fanin.append(server)
 
     def record_received_proposal(self, proposer: NodeId, chunk_ids: Tuple[ChunkId, ...]) -> None:
         """Log a proposal received from ``proposer``."""
-        record = self._ensure_open()
-        record.received_proposals.setdefault(proposer, set()).update(chunk_ids)
+        record = self._current
+        if record is None:
+            self._ensure_open()
+        seen = record.received_proposals.get(proposer)
+        if seen is None:
+            seen = record.received_proposals[proposer] = set()
+            per_seq = self._received_idx.get(proposer)
+            if per_seq is None:
+                per_seq = self._received_idx[proposer] = {}
+            per_seq[record.seq] = seen
+        seen.update(chunk_ids)
 
     def record_confirm_sender(self, proposer: NodeId, verifier: NodeId) -> None:
         """Log that ``verifier`` asked us to confirm a proposal of ``proposer``."""
-        record = self._ensure_open()
-        record.confirm_senders.setdefault(proposer, []).append(verifier)
+        record = self._current
+        if record is None:
+            self._ensure_open()
+        senders = record.confirm_senders.get(proposer)
+        if senders is None:
+            senders = record.confirm_senders[proposer] = []
+            per_seq = self._confirm_idx.get(proposer)
+            if per_seq is None:
+                per_seq = self._confirm_idx[proposer] = {}
+            per_seq[record.seq] = senders
+        senders.append(verifier)
 
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
     def records(self, last: Optional[int] = None) -> List[PeriodRecord]:
-        """The most recent ``last`` period records (oldest first)."""
-        records = list(self._records)
-        if last is not None:
-            records = records[-last:]
-        return records
+        """The most recent ``last`` period records (oldest first).
+
+        The returned records are the live ring slots (recycled once the
+        ring wraps past them) — snapshot what must outlive the window.
+        """
+        seq = self._seq
+        count = min(seq, self.max_periods)
+        if last is not None and last < count:
+            count = max(last, 0)
+        cap = self.max_periods
+        slots = self._slots
+        return [slots[(s - 1) % cap] for s in range(seq - count + 1, seq + 1)]
 
     def fanout_multiset(self, last: Optional[int] = None) -> Multiset:
         """``F_h`` — partners of our propose events over the window."""
+        if last is None or last >= min(self._seq, self.max_periods):
+            return self._fanout.copy()
         fanout: Multiset = Multiset()
         for record in self.records(last):
             if record.proposal is not None:
@@ -118,6 +231,8 @@ class LocalHistory:
     def proposal_count(self, last: Optional[int] = None) -> int:
         """Number of propose events in the window — §5.3 uses this to
         check that the node respected the gossip period ``T_g``."""
+        if last is None or last >= min(self._seq, self.max_periods):
+            return self._proposal_count
         return sum(1 for r in self.records(last) if r.proposal is not None)
 
     def proposals_snapshot(
@@ -137,22 +252,45 @@ class LocalHistory:
         """Did we receive a proposal from ``proposer`` containing all of
         ``chunk_ids`` within the window?  Witnesses use this to answer
         confirm requests and a-posteriori polls."""
+        per_seq = self._received_idx.get(proposer)
+        if per_seq is None:
+            return False
         wanted = set(chunk_ids)
-        for record in self.records(last):
-            seen = record.received_proposals.get(proposer)
-            if seen is not None and wanted <= seen:
+        if last is None:
+            for seen in per_seq.values():
+                if wanted <= seen:
+                    return True
+            return False
+        lo = self._seq - last + 1
+        for seq, seen in per_seq.items():
+            if seq >= lo and wanted <= seen:
                 return True
         return False
 
     def received_any_proposal_from(self, proposer: NodeId, *, last: Optional[int] = None) -> bool:
         """Did ``proposer`` send us any proposal within the window?"""
-        return any(proposer in r.received_proposals for r in self.records(last))
+        per_seq = self._received_idx.get(proposer)
+        if per_seq is None:
+            return False
+        if last is None:
+            return True
+        lo = self._seq - last + 1
+        return any(seq >= lo for seq in per_seq)
 
     def confirm_senders_about(self, proposer: NodeId, last: Optional[int] = None) -> List[NodeId]:
         """All verifiers that asked us about ``proposer`` in the window."""
+        per_seq = self._confirm_idx.get(proposer)
         out: List[NodeId] = []
-        for record in self.records(last):
-            out.extend(record.confirm_senders.get(proposer, ()))
+        if per_seq is None:
+            return out
+        if last is None:
+            for senders in per_seq.values():
+                out.extend(senders)
+            return out
+        lo = self._seq - last + 1
+        for seq, senders in per_seq.items():
+            if seq >= lo:
+                out.extend(senders)
         return out
 
     @property
@@ -161,4 +299,4 @@ class LocalHistory:
         return self._current.period if self._current is not None else None
 
     def __len__(self) -> int:
-        return len(self._records)
+        return min(self._seq, self.max_periods)

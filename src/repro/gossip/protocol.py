@@ -45,6 +45,7 @@ from repro.gossip.messages import (
 from repro.nodes.behavior import Behavior
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, Transport
+from repro.sim.network import _TCP, _UDP
 from repro.util.validation import require
 
 NodeId = int
@@ -80,11 +81,10 @@ class SimTransport:
         )
 
     def send(self, src: NodeId, dst: NodeId, message: object, reliable: bool) -> bool:
-        transport = Transport.TCP if reliable else Transport.UDP
-        return self.network.send(src, dst, message, transport)
+        return self.network.send(src, dst, message, _TCP if reliable else _UDP)
 
 
-@dataclass
+@dataclass(slots=True)
 class _SentProposal:
     """Bookkeeping for a proposal we emitted (to validate requests)."""
 
@@ -131,6 +131,21 @@ class GossipNode:
         require(node_id >= 0, "node ids must be non-negative (SOURCE_ID=-1 is reserved)")
         self.node_id = node_id
         self.transport = transport
+        # Hot-path shortcuts: ``send`` runs per protocol message, and
+        # ``call_later`` / ``clock`` per verification window, so the
+        # transport's bound methods are cached once instead of
+        # re-resolved per call.  Under the simulator the facade is
+        # bypassed entirely: the network/engine methods are bound
+        # directly, skipping one wrapper frame per call.
+        sim = getattr(transport, "sim", None)
+        network = getattr(transport, "network", None)
+        self._transport_send = transport.send
+        self._net_send = network.send if network is not None else None
+        self._net_send_many = network.send_many if network is not None else None
+        self._transport_call_later = (
+            sim.call_later if sim is not None else transport.call_later
+        )
+        self._sim = sim
         self.sampler = sampler
         self.gossip = gossip
         self.lifting = lifting
@@ -145,6 +160,9 @@ class GossipNode:
         self.history = LocalHistory(max_periods=lifting.history_periods + 2)
         self.stats = NodeStats()
         self.period = 0
+        #: True once the first gossip period opened the history (checked
+        #: per received message; cheaper than the history property).
+        self._history_open = False
         self._fresh: Dict[ChunkId, NodeId] = {}
         self._pending_chunks: Set[ChunkId] = set()
         self._sent_proposals: Dict[int, _SentProposal] = {}
@@ -180,6 +198,9 @@ class GossipNode:
 
             self.audit_scheduler = AuditScheduler(self, p_audit=p_audit)
         self._dispatch = self._build_dispatch()
+        #: public alias the network uses to deliver straight to handlers
+        #: (must not be mutated after the node registers).
+        self.dispatch_table = self._dispatch
         behavior.bind(self)
 
     def _build_dispatch(self) -> Dict[type, Callable]:
@@ -205,7 +226,10 @@ class GossipNode:
             table[Ack] = self.engine.on_ack
             table[ConfirmResponse] = self.engine.on_confirm_response
         if self.manager is not None:
-            table[Blame] = self._on_blame
+            # Bound straight to the manager: a delivered Blame is the
+            # most frequent reputation message and needs no node-level
+            # bookkeeping.
+            table[Blame] = self.manager.on_blame_message
         if self.score_reader is not None:
             table[ScoreReply] = self._on_score_reply
         if self.auditor is not None:
@@ -218,11 +242,12 @@ class GossipNode:
     # ------------------------------------------------------------------
     def clock(self) -> float:
         """Current time."""
-        return self.transport.clock()
+        sim = self._sim
+        return sim.now if sim is not None else self.transport.clock()
 
     def call_later(self, delay: float, callback: Callable[..., None], *args):
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
-        return self.transport.call_later(delay, callback, *args)
+        return self._transport_call_later(delay, callback, *args)
 
     def random(self) -> float:
         """One uniform [0, 1) draw from the node's stream."""
@@ -230,7 +255,26 @@ class GossipNode:
 
     def send(self, dst: NodeId, message: object, reliable: bool = False) -> bool:
         """Send ``message`` to ``dst`` (TCP when ``reliable``)."""
-        return self.transport.send(self.node_id, dst, message, reliable)
+        net_send = self._net_send
+        if net_send is not None:
+            return net_send(self.node_id, dst, message, _TCP if reliable else _UDP)
+        return self._transport_send(self.node_id, dst, message, reliable)
+
+    def send_many(self, dsts, message: object, reliable: bool = False) -> int:
+        """Send ``message`` to every node in ``dsts`` (fan-out batch).
+
+        Equivalent to ``send`` per destination in order; under the
+        simulator the per-message fixed costs are paid once per batch
+        (see :meth:`Network.send_many`).  Returns how many were sent.
+        """
+        send_many = self._net_send_many
+        if send_many is not None:
+            return send_many(self.node_id, dsts, message, _TCP if reliable else _UDP)
+        sent = 0
+        for dst in dsts:
+            if self._transport_send(self.node_id, dst, message, reliable):
+                sent += 1
+        return sent
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -261,6 +305,7 @@ class GossipNode:
     def _on_period(self) -> None:
         self.period += 1
         self.history.begin_period(self.period)
+        self._history_open = True
         if self.engine is not None:
             self.engine.on_period_tick()
         self._flush_blames()
@@ -293,10 +338,13 @@ class GossipNode:
         fresh, self._fresh = self._fresh, {}
         if not fresh:
             return
-        by_server: Dict[NodeId, List[ChunkId]] = defaultdict(list)
+        by_server: Dict[NodeId, List[ChunkId]] = {}
         for chunk_id, server in fresh.items():
-            by_server[server].append(chunk_id)
-        filtered = self.behavior.propose_filter(dict(by_server))
+            chunks = by_server.get(server)
+            if chunks is None:
+                chunks = by_server[server] = []
+            chunks.append(chunk_id)
+        filtered = self.behavior.propose_filter(by_server)
         chunk_ids: Tuple[ChunkId, ...] = tuple(
             sorted(c for ids in filtered.values() for c in ids)
         )
@@ -307,8 +355,7 @@ class GossipNode:
         self._proposal_counter += 1
         proposal_id = (self.node_id << 20) | (self._proposal_counter & 0xFFFFF)
         propose = Propose(proposal_id=proposal_id, chunk_ids=chunk_ids)
-        for partner in partners:
-            self.send(partner, propose)
+        self.send_many(partners, propose)
         self.stats.proposals_sent += 1
         self.history.record_proposal(tuple(partners), chunk_ids)
         self._sent_proposals[proposal_id] = _SentProposal(
@@ -341,9 +388,10 @@ class GossipNode:
 
     def _broadcast_expel_vote(self, target: NodeId) -> None:
         vote = ExpelVote(target=target)
-        for manager_id in self.assignment.managers_of(target):
-            if manager_id != self.node_id:
-                self.send(manager_id, vote)
+        self.send_many(
+            [m for m in self.assignment.managers_of(target) if m != self.node_id],
+            vote,
+        )
 
     def _expel_quorum_reached(self, target: NodeId) -> None:
         if self.on_expel_quorum is not None:
@@ -358,9 +406,6 @@ class GossipNode:
         if handler is not None:
             handler(src, message)
 
-    def _on_blame(self, src: NodeId, message: Blame) -> None:
-        self.manager.on_blame(message.target, message.value)
-
     def _on_score_reply(self, src: NodeId, message: ScoreReply) -> None:
         self.score_reader.on_reply(src, message.target, message.score, message.known)
 
@@ -369,18 +414,21 @@ class GossipNode:
     # ------------------------------------------------------------------
     def _on_propose(self, src: NodeId, message: Propose) -> None:
         self.stats.proposals_received += 1
-        if self.history.current_period is not None:
+        if self._history_open:
             self.history.record_received_proposal(src, message.chunk_ids)
         now = self.clock()
         needed = []
+        owned = self.store.owned
         for chunk_id in message.chunk_ids:
-            if chunk_id in self.store:
+            if chunk_id in owned:
                 continue
             # Remember alternative sources for chunks we do not request
             # now — a lost serve is re-requested from one of them.  Each
             # list is bounded: retries walk it newest-first, so beyond
             # MAX_OFFERS_PER_CHUNK the oldest entries are dead weight.
-            offers = self._offers.setdefault(chunk_id, [])
+            offers = self._offers.get(chunk_id)
+            if offers is None:
+                offers = self._offers[chunk_id] = []
             offers.append((src, message.proposal_id, now))
             if len(offers) > MAX_OFFERS_PER_CHUNK:
                 del offers[0]
@@ -420,8 +468,9 @@ class GossipNode:
         if record is None or src not in record.partners:
             return  # §4.2: requests not matching a proposal are ignored
         self.stats.requests_received += 1
+        owned = self.store.owned
         valid = [
-            c for c in message.chunk_ids if c in record.chunk_ids and c in self.store
+            c for c in message.chunk_ids if c in record.chunk_ids and c in owned
         ]
         to_serve = self.behavior.serve_filter(valid)
         origin = self.behavior.serve_origin()
@@ -457,21 +506,27 @@ class GossipNode:
         self.stats.chunks_received += 1
         origin = message.origin
         self._fresh[message.chunk_id] = origin
-        if self.history.current_period is not None and origin != SOURCE_ID:
+        if self._history_open and origin != SOURCE_ID:
             self.history.record_fanin(origin)
 
     # ------------------------------------------------------------------
     # LiFTinG message handlers
     # ------------------------------------------------------------------
     def _on_confirm(self, src: NodeId, message: Confirm) -> None:
-        if self.history.current_period is not None:
+        if self._history_open:
             self.history.record_confirm_sender(message.proposer, src)
         # Defer the answer: the confirm races the propose it asks about
         # (verifier is only an ack + confirm hop behind the proposer), so
-        # the testimony is evaluated after a grace delay.
+        # the testimony is evaluated after a grace delay.  The timer is
+        # never cancelled, so under the simulator it goes through the
+        # handle-free ``schedule`` fast path.
         delay = self.lifting.witness_answer_delay
         if delay > 0:
-            self.call_later(delay, self._answer_confirm, src, message)
+            sim = self._sim
+            if sim is not None:
+                sim.schedule(sim.now + delay, self._answer_confirm, src, message)
+            else:
+                self.call_later(delay, self._answer_confirm, src, message)
         else:
             self._answer_confirm(src, message)
 
@@ -538,17 +593,26 @@ class GossipNode:
         if not self._blame_outbox:
             return
         outbox, self._blame_outbox = self._blame_outbox, defaultdict(float)
+        node_id = self.node_id
+        local_targets: List[NodeId] = []
+        local_values: List[float] = []
         for target, value in outbox.items():
             if value == 0.0:
                 continue
             blame = Blame(target=target, value=value, reason="period-batch")
-            for manager_id in self.assignment.managers_of(target):
-                if manager_id == self.node_id:
-                    if self.manager is not None:
-                        self.manager.on_blame(target, value)
-                else:
-                    self.send(manager_id, blame)
-                    self.stats.blame_messages += 1
+            managers = self.assignment.managers_of(target)
+            if node_id in managers:
+                local_targets.append(target)
+                local_values.append(value)
+                remote = [m for m in managers if m != node_id]
+            else:
+                remote = managers
+            self.send_many(remote, blame)
+            self.stats.blame_messages += len(remote)
+        if local_targets and self.manager is not None:
+            # This node manages some of its blame targets: apply the
+            # whole period's worth in one batch.
+            self.manager.on_blame_batch(local_targets, local_values)
 
     def on_request_expired(self, proposer: NodeId, chunk_ids: Set[ChunkId]) -> None:
         """A request (partially) timed out: retry elsewhere or release.

@@ -66,10 +66,11 @@ def bandwidth_overhead(trace: MessageTrace, duration: float, n_nodes: int) -> Ov
     """Build an :class:`OverheadReport` from a message trace."""
     require(duration > 0, "duration must be > 0")
     require(n_nodes > 0, "n_nodes must be > 0")
+    by_category = trace.category_bytes_all()
     return OverheadReport(
-        data_bytes=trace.category_bytes(CATEGORY_DATA),
-        verification_bytes=trace.category_bytes(CATEGORY_VERIFICATION),
-        reputation_bytes=trace.category_bytes(CATEGORY_REPUTATION),
+        data_bytes=by_category[CATEGORY_DATA],
+        verification_bytes=by_category[CATEGORY_VERIFICATION],
+        reputation_bytes=by_category[CATEGORY_REPUTATION],
         duration=duration,
         n_nodes=n_nodes,
     )
@@ -86,5 +87,6 @@ def message_counts_per_node_period(
     require(duration > 0 and n_nodes > 0 and gossip_period > 0, "invalid normalisation")
     periods = duration / gossip_period
     return {
-        kind: trace.sent_count(kind) / n_nodes / periods for kind in trace.kinds()
+        kind: count / n_nodes / periods
+        for kind, count in sorted(trace.sent_counts_by_kind().items())
     }

@@ -276,6 +276,7 @@ class Simulator:
         queue = self._queue
         fired = 0
         unbounded = max_events is None
+        pop = heappop  # localised: one global load per event adds up
         try:
             while queue:
                 entry = queue[0]
@@ -285,7 +286,7 @@ class Simulator:
                     # _cancelled_in_heap absolutely, and a deferred
                     # subtraction would double-count entries popped
                     # before the compaction.
-                    heappop(queue)
+                    pop(queue)
                     self._cancelled_in_heap -= 1
                     continue
                 time = entry[_TIME]
@@ -294,7 +295,7 @@ class Simulator:
                     return
                 if not unbounded and fired >= max_events:
                     return
-                heappop(queue)
+                pop(queue)
                 self.now = time
                 entry[_STATUS] = _FIRED
                 fired += 1

@@ -101,8 +101,20 @@ class PerNodeLoss(LossModel):
 
     def is_lost(self, src: NodeId, dst: NodeId) -> bool:
         # The probability is recomputed per call on purpose: ``base``
-        # and ``node_loss`` are public and may be mutated mid-run.
-        p = self.loss_probability(src, dst)
+        # and ``node_loss`` are public and may be mutated mid-run.  The
+        # computation is inlined (not a ``loss_probability`` call): this
+        # runs once per datagram.  When no node has an endpoint rate the
+        # per-endpoint factors are exactly 1.0, so the homogeneous
+        # short-cut below is bit-identical to the full product.
+        node_loss = self.node_loss
+        if node_loss:
+            p = 1.0 - (
+                (1.0 - self.base)
+                * (1.0 - node_loss.get(src, 0.0))
+                * (1.0 - node_loss.get(dst, 0.0))
+            )
+        else:
+            p = 1.0 - (1.0 - self.base)
         if p <= 0.0:
             return False
         i = self._next

@@ -20,10 +20,15 @@ import enum
 import math
 from typing import Callable, Dict, Optional, Protocol
 
+_INF = math.inf
+
+from heapq import heappush
+
 from repro.sim.bandwidth import UploadLink
 from repro.sim.engine import Simulator
-from repro.sim.latency import ConstantLatency, LatencyModel
-from repro.sim.loss import LossModel, NoLoss
+from repro.sim.engine import _PENDING  # heap-entry status word (see below)
+from repro.sim.latency import SAMPLE_BLOCK, ConstantLatency, LatencyModel, UniformLatency
+from repro.sim.loss import LossModel, NoLoss, PerNodeLoss
 from repro.sim.trace import MessageTrace
 from repro.util.validation import require
 
@@ -97,7 +102,28 @@ class Network:
         Multiplier on the latency sample for TCP messages (handshake +
         acknowledgement round trips).  The paper's audits tolerate this
         because they are sporadic.
+
+    The ``latency`` and ``loss`` models are fixed at construction (their
+    *state* may be mutated — ``set_node_loss`` etc. — but the attributes
+    must not be rebound afterwards: the send fast path specialises on
+    their concrete types once, here in ``__init__``).
     """
+
+    __slots__ = (
+        "sim",
+        "latency",
+        "loss",
+        "trace",
+        "tcp_latency_factor",
+        "_endpoints",
+        "_links",
+        "_disconnected",
+        "wire_size",
+        "_size_cache",
+        "_receivers",
+        "_loss_inline",
+        "_latency_inline",
+    )
 
     def __init__(
         self,
@@ -112,6 +138,14 @@ class Network:
         self.loss = loss if loss is not None else NoLoss()
         self.trace = trace if trace is not None else MessageTrace()
         self.tcp_latency_factor = tcp_latency_factor
+        # ``send`` runs once per message; for the exact stock model
+        # types (not subclasses, whose overrides must keep winning) the
+        # per-message model calls are inlined into the send path.  The
+        # inlined bodies replicate the models' block-buffered sampling
+        # statement for statement, so the RNG draw sequence is
+        # bit-identical either way.
+        self._loss_inline = type(self.loss) is PerNodeLoss
+        self._latency_inline = type(self.latency) is UniformLatency
         self._endpoints: Dict[NodeId, Endpoint] = {}
         self._links: Dict[NodeId, UploadLink] = {}
         self._disconnected: set = set()
@@ -119,6 +153,9 @@ class Network:
         # type -> int (fixed size) | unbound sizer; only consulted while
         # ``wire_size`` is the default (a custom sizer bypasses it).
         self._size_cache: Dict[type, object] = {}
+        # node -> (endpoint, dispatch table or None); delivery jumps
+        # straight to the handler when the endpoint publishes a table.
+        self._receivers: Dict[NodeId, tuple] = {}
 
     # ------------------------------------------------------------------
     # membership of the network fabric
@@ -129,6 +166,11 @@ class Network:
         require(node_id not in self._endpoints, "node %s already registered", node_id)
         self._endpoints[node_id] = endpoint
         self._links[node_id] = UploadLink(upload_rate)
+        # Endpoints that expose their type-keyed dispatch table (see
+        # GossipNode.dispatch_table) are delivered to through it without
+        # the intermediate ``on_message`` frame.  The table must be
+        # fixed after registration.
+        self._receivers[node_id] = (endpoint, getattr(endpoint, "dispatch_table", None))
 
     def set_upload_rate(self, node: NodeId, rate_bytes_per_s: float) -> None:
         """Replace the upload capacity of ``node``."""
@@ -180,40 +222,147 @@ class Network:
         peer's address is dead, so no bandwidth is spent on it (this
         keeps the Table 5 accounting honest) — and return False so
         callers can observe it.
+
+        A unicast is a one-destination fan-out: the whole send path
+        lives in :meth:`send_many` (one copy of the inlined model
+        bodies), and a message counts as "put on the wire" even when
+        the loss model then drops it, so the count/bool conversion here
+        is exact.
+        """
+        return self.send_many(src, (dst,), message, transport) > 0
+
+    def send_many(self, src: NodeId, dsts, message: object, transport: Transport = Transport.UDP) -> int:
+        """Send one ``message`` to several destinations.
+
+        The per-destination loss/latency draw sequence and all
+        accounting are exactly those of a per-destination ``send`` loop,
+        with the per-message fixed costs (sender guard, wire sizing,
+        trace update) hoisted out of the loop.  The gossip fan-outs
+        (propose → ``f`` partners, confirm → witnesses, blame → ``M``
+        managers) are the bulk of all traffic, which makes this the
+        hottest entry point of the simulator — :meth:`send` delegates
+        here with a one-element tuple, so this is the *only* copy of
+        the send path.
+
+        The ``PerNodeLoss`` / ``UniformLatency`` / ``record_sent``
+        bodies are inlined verbatim for the exact stock model types (a
+        per-message frame each otherwise); the fallback calls the
+        models, and ``tests/sim/test_network.py`` pins the two paths to
+        the same RNG draw stream.
+
+        Returns the number of messages put on the wire (lost-in-flight
+        datagrams included, as in :meth:`send`).
         """
         endpoints = self._endpoints
-        disconnected = self._disconnected  # usually empty: guard lookups
+        disconnected = self._disconnected
         if disconnected and src in disconnected:
-            return False
+            return 0
         if src not in endpoints:
             require(False, "unknown sender %s", src)
-        if dst not in endpoints or (disconnected and dst in disconnected):
-            return False
 
+        cls = message.__class__
         ws = self.wire_size
         if ws is default_wire_size:
-            cls = message.__class__
             cached = self._size_cache.get(cls)
             if cached is None:
                 cached = self._size_cache[cls] = _size_strategy(cls, message)
             size = cached if type(cached) is int else int(cached(message))
         else:
             size = ws(message)
+
         sim = self.sim
-        now = sim.now
-        departure = self._links[src].transmit(now, size)
-        self.trace.record_sent(src, message, size)
+        link = self._links[src]
+        link_unbounded = link.rate == _INF
+        loss = self.loss
+        loss_inline = self._loss_inline and transport is _UDP
+        latency = self.latency
+        latency_inline = self._latency_inline
+        udp = transport is _UDP
+        tcp_factor = self.tcp_latency_factor
+        queue = sim._queue
+        deliver = self._deliver
+        trace = self.trace
+        lost_counts = None
 
-        if transport is _UDP and self.loss.is_lost(src, dst):
-            self.trace.record_lost(src, dst, message)
-            return True
+        sent = 0
+        for dst in dsts:
+            if dst not in endpoints or (disconnected and dst in disconnected):
+                continue
+            now = sim.now
+            if link_unbounded:
+                link.bytes_sent += size
+                departure = now
+            else:
+                departure = link.transmit(now, size)
+            sent += 1
 
-        delay = self.latency.sample(src, dst)
-        if transport is _TCP:
-            delay *= self.tcp_latency_factor
-        arrival = (departure if departure > now else now) + delay
-        sim.schedule(arrival, self._deliver, src, dst, message)
-        return True
+            if udp:
+                if loss_inline:  # PerNodeLoss.is_lost, verbatim
+                    node_loss = loss.node_loss
+                    if node_loss:
+                        p = 1.0 - (
+                            (1.0 - loss.base)
+                            * (1.0 - node_loss.get(src, 0.0))
+                            * (1.0 - node_loss.get(dst, 0.0))
+                        )
+                    else:
+                        p = 1.0 - (1.0 - loss.base)
+                    if p <= 0.0:
+                        dropped = False
+                    else:
+                        i = loss._next
+                        block = loss._block
+                        if i >= len(block):
+                            block = loss._block = loss._rng.random(SAMPLE_BLOCK).tolist()
+                            i = 0
+                        loss._next = i + 1
+                        dropped = block[i] < p
+                else:
+                    dropped = loss.is_lost(src, dst)
+                if dropped:
+                    if lost_counts is None:
+                        lost_counts = trace._lost
+                    lost_counts[cls] = lost_counts.get(cls, 0) + 1
+                    continue
+
+            if latency_inline:  # UniformLatency.sample, verbatim
+                i = latency._next
+                block = latency._block
+                if i >= len(block):
+                    block = latency._block = latency._rng.uniform(
+                        latency.low, latency.high, SAMPLE_BLOCK
+                    ).tolist()
+                    i = 0
+                latency._next = i + 1
+                delay = block[i]
+            else:
+                delay = latency.sample(src, dst)
+            if not udp:
+                delay *= tcp_factor
+            arrival = (departure if departure > now else now) + delay
+            # Inlined Simulator.schedule (delivery events are the single
+            # biggest event source), keeping its time validation as one
+            # comparison: a buggy latency model returning a negative or
+            # NaN delay must raise here, not silently rewind the clock.
+            if not (now <= arrival < _INF):
+                raise ValueError(
+                    f"latency model produced invalid delivery time {arrival!r} "
+                    f"(now={now!r}, delay={delay!r})"
+                )
+            heappush(queue, [arrival, sim._sequence, deliver, (src, dst, message), _PENDING])
+            sim._sequence += 1
+            sim._live += 1
+
+        if sent:
+            per_src = trace._sent.get(cls)
+            if per_src is None:
+                per_src = trace._sent[cls] = {}
+            entry = per_src.get(src)
+            if entry is None:
+                entry = per_src[src] = [0, 0]
+            entry[0] += sent
+            entry[1] += sent * size
+        return sent
 
     def _deliver(self, src: NodeId, dst: NodeId, message: object) -> None:
         disconnected = self._disconnected
@@ -221,8 +370,16 @@ class Network:
             # Expulsion takes effect immediately: in-flight traffic of an
             # expelled node is discarded at delivery time.
             return
-        endpoint = self._endpoints.get(dst)
-        if endpoint is None:
+        receiver = self._receivers.get(dst)
+        if receiver is None:
             return
-        self.trace.record_delivered(dst, message)
-        endpoint.on_message(src, message)
+        cls = message.__class__
+        delivered = self.trace._delivered
+        delivered[cls] = delivered.get(cls, 0) + 1
+        dispatch = receiver[1]
+        if dispatch is not None:
+            handler = dispatch.get(cls)
+            if handler is not None:
+                handler(src, message)
+            return
+        receiver[0].on_message(src, message)

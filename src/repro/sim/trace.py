@@ -7,12 +7,22 @@ request / serve).  Table 3 reports per-role *message counts*.  The
 :class:`MessageTrace` records both, keyed by message kind and by the
 category the message class declares (``data``, ``verification``,
 ``reputation`` or ``control``).
+
+Performance note
+----------------
+Recording runs once per transmission — it is on the hottest path of the
+simulator — so the write side is a single ``(sender, message class)``
+keyed counter pair per send and one class-keyed counter per loss /
+delivery.  The kind/category/per-node views the metrics layer consumes
+are *aggregated on demand* from those flat counters: experiments read a
+trace a handful of times per run, so moving the fan-out from the
+per-send path (five dict updates in the old layout) to the query side
+is a net win of several dict operations per message.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 NodeId = int
 
@@ -39,8 +49,8 @@ def message_category(message: object) -> str:
     return getattr(message, "CATEGORY", CATEGORY_CONTROL)
 
 
-# class -> (kind, category); recording runs per send, and the name /
-# CATEGORY attribute probes are pure per-type functions.
+# class -> (kind, category); the name / CATEGORY attribute probes are
+# pure per-type functions, cached for the aggregation passes.
 _CLASS_META: Dict[type, tuple] = {}
 
 
@@ -57,81 +67,138 @@ def _class_meta(cls: type) -> tuple:
 class MessageTrace:
     """Accumulates message counts and byte volumes.
 
-    All counters are ``(kind | category, node) -> value`` maps; the
-    aggregate queries below are what the metrics layer consumes.
+    The write-side state is flat: ``message class -> {src -> [count,
+    bytes]}`` for sends and ``class -> count`` for losses / deliveries.
+    All public queries aggregate those counters on demand and preserve
+    the original ``(kind | category, node)`` views.
+
+    :class:`~repro.sim.network.Network` updates the underlying mappings
+    *inline* on its send/deliver path (the structures, not the
+    ``record_*`` methods, are the recording interface there); the
+    methods remain for non-hot-path recording and tests.
     """
 
     def __init__(self) -> None:
-        self._sent_count: Dict[str, int] = defaultdict(int)
-        self._sent_bytes: Dict[str, int] = defaultdict(int)
-        self._lost_count: Dict[str, int] = defaultdict(int)
-        self._delivered_count: Dict[str, int] = defaultdict(int)
-        self._node_sent_bytes: Dict[NodeId, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
-        self._node_sent_count: Dict[NodeId, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
-        self._category_bytes: Dict[str, int] = defaultdict(int)
+        #: cls -> {src -> [sent_count, sent_bytes]}
+        self._sent: Dict[type, Dict[NodeId, List[int]]] = {}
+        self._lost: Dict[type, int] = {}
+        self._delivered: Dict[type, int] = {}
 
     # ------------------------------------------------------------------
     # recording (called by the network)
     # ------------------------------------------------------------------
     def record_sent(self, src: NodeId, message: object, size: int) -> None:
         """Account an outgoing message (before any loss decision)."""
-        kind, category = _class_meta(message.__class__)
-        self._sent_count[kind] += 1
-        self._sent_bytes[kind] += size
-        self._category_bytes[category] += size
-        self._node_sent_bytes[src][category] += size
-        self._node_sent_count[src][kind] += 1
+        per_src = self._sent.get(message.__class__)
+        if per_src is None:
+            per_src = self._sent[message.__class__] = {}
+        entry = per_src.get(src)
+        if entry is None:
+            entry = per_src[src] = [0, 0]
+        entry[0] += 1
+        entry[1] += size
 
     def record_lost(self, src: NodeId, dst: NodeId, message: object) -> None:
         """Account a datagram dropped by the loss model."""
-        self._lost_count[message.__class__.__name__] += 1
+        cls = message.__class__
+        self._lost[cls] = self._lost.get(cls, 0) + 1
 
     def record_delivered(self, dst: NodeId, message: object) -> None:
         """Account a delivered message."""
-        self._delivered_count[message.__class__.__name__] += 1
+        cls = message.__class__
+        self._delivered[cls] = self._delivered.get(cls, 0) + 1
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def sent_count(self, kind: Optional[str] = None) -> int:
         """Messages sent, for one ``kind`` or in total."""
-        if kind is None:
-            return sum(self._sent_count.values())
-        return self._sent_count.get(kind, 0)
+        return sum(
+            entry[0]
+            for cls, per_src in self._sent.items()
+            if kind is None or cls.__name__ == kind
+            for entry in per_src.values()
+        )
 
     def sent_bytes(self, kind: Optional[str] = None) -> int:
         """Bytes sent, for one ``kind`` or in total."""
-        if kind is None:
-            return sum(self._sent_bytes.values())
-        return self._sent_bytes.get(kind, 0)
+        return sum(
+            entry[1]
+            for cls, per_src in self._sent.items()
+            if kind is None or cls.__name__ == kind
+            for entry in per_src.values()
+        )
 
     def lost_count(self, kind: Optional[str] = None) -> int:
         """Datagrams lost, for one ``kind`` or in total."""
         if kind is None:
-            return sum(self._lost_count.values())
-        return self._lost_count.get(kind, 0)
+            return sum(self._lost.values())
+        return sum(count for cls, count in self._lost.items() if cls.__name__ == kind)
 
     def delivered_count(self, kind: Optional[str] = None) -> int:
         """Messages delivered, for one ``kind`` or in total."""
         if kind is None:
-            return sum(self._delivered_count.values())
-        return self._delivered_count.get(kind, 0)
+            return sum(self._delivered.values())
+        return sum(
+            count for cls, count in self._delivered.items() if cls.__name__ == kind
+        )
 
     def category_bytes(self, category: str) -> int:
         """Total bytes sent in ``category`` across all nodes."""
-        return self._category_bytes.get(category, 0)
+        return sum(
+            entry[1]
+            for cls, per_src in self._sent.items()
+            if _class_meta(cls)[1] == category
+            for entry in per_src.values()
+        )
 
     def node_category_bytes(self, node: NodeId, category: str) -> int:
         """Bytes ``node`` sent in ``category``."""
-        return self._node_sent_bytes.get(node, {}).get(category, 0)
+        total = 0
+        for cls, per_src in self._sent.items():
+            if _class_meta(cls)[1] == category:
+                entry = per_src.get(node)
+                if entry is not None:
+                    total += entry[1]
+        return total
 
     def node_sent_count(self, node: NodeId, kind: str) -> int:
         """Messages of ``kind`` sent by ``node``."""
-        return self._node_sent_count.get(node, {}).get(kind, 0)
+        total = 0
+        for cls, per_src in self._sent.items():
+            if cls.__name__ == kind:
+                entry = per_src.get(node)
+                if entry is not None:
+                    total += entry[0]
+        return total
 
     def kinds(self) -> Iterable[str]:
         """All message kinds observed so far."""
-        return sorted(self._sent_count.keys())
+        return sorted({cls.__name__ for cls in self._sent})
+
+    def sent_counts_by_kind(self) -> Dict[str, int]:
+        """``kind -> messages sent`` in one pass over the counters.
+
+        Equivalent to ``{k: sent_count(k) for k in kinds()}`` without
+        the per-kind rescan (the metrics layer reads all kinds at once).
+        """
+        totals: Dict[str, int] = {}
+        for cls, per_src in self._sent.items():
+            kind = cls.__name__
+            totals[kind] = totals.get(kind, 0) + sum(
+                entry[0] for entry in per_src.values()
+            )
+        return totals
+
+    def category_bytes_all(self) -> Dict[str, int]:
+        """``category -> bytes sent`` for every category in one pass."""
+        totals: Dict[str, int] = {category: 0 for category in ALL_CATEGORIES}
+        for cls, per_src in self._sent.items():
+            category = _class_meta(cls)[1]
+            totals[category] = totals.get(category, 0) + sum(
+                entry[1] for entry in per_src.values()
+            )
+        return totals
 
     def overhead_ratio(
         self,

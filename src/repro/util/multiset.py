@@ -5,6 +5,24 @@ partners a node proposed to during the last ``n_h`` gossip periods, and
 the multiset ``F'_h`` of nodes that cross-checked it (its fanin).  The
 audit computes the Shannon entropy of the empirical distribution of the
 multiset and compares it with the threshold ``γ``.
+
+Performance notes
+-----------------
+* **Incremental entropy.**  The multiset maintains
+  ``Σ c·log2(c)`` across mutations, so :meth:`shannon_entropy` is O(1)
+  via the algebraic identity ``H = log2(T) - Σ c·log2(c) / T`` (with
+  ``T`` the total count) instead of an O(distinct) re-summation.  The
+  history and audit layers mutate their multisets once per event and
+  read entropy per audit, so the maintained form moves the cost off the
+  hot path.  The identity is exact in real arithmetic; in floats the
+  incremental accumulator can differ from a fresh summation by a few
+  ulps (irrelevant against the audit thresholds, which carry
+  whole-bit margins).
+* **Array-backed counting.**  :meth:`add_ids` bulk-ingests an array of
+  small non-negative integers (node ids) through ``numpy.bincount`` —
+  one vectorised pass instead of a Python-level loop per element — and
+  :func:`entropy_of_counts` computes the entropy of a raw count vector
+  without building a multiset at all.
 """
 
 from __future__ import annotations
@@ -13,7 +31,33 @@ import math
 from collections import Counter
 from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Tuple, TypeVar
 
+import numpy as np
+
 T = TypeVar("T", bound=Hashable)
+
+_log2 = math.log2
+
+#: Precomputed ``c*log2(c)`` for small counts — the incremental-entropy
+#: accumulator updates hit counts far below this bound in practice
+#: (history windows are a few hundred entries), so the table turns the
+#: per-mutation ``log2`` call into a list index.
+_CLOGC_LIMIT = 1024
+_CLOGC = [0.0, 0.0] + [c * math.log2(c) for c in range(2, _CLOGC_LIMIT)]
+
+
+def entropy_of_counts(counts: "np.ndarray") -> float:
+    """Shannon entropy (base 2) of a vector of occurrence counts.
+
+    Zero counts are ignored; an all-zero (or empty) vector has entropy
+    0.0 by the same convention as :meth:`Multiset.shannon_entropy`.
+    """
+    counts = np.asarray(counts, dtype=float)
+    counts = counts[counts > 0]
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts / total
+    return float(-(p * np.log2(p)).sum())
 
 
 class Multiset(Generic[T]):
@@ -28,29 +72,66 @@ class Multiset(Generic[T]):
     1.5
     """
 
-    __slots__ = ("_counts", "_size")
+    __slots__ = ("_counts", "_size", "_clogc")
 
     def __init__(self, items: Iterable[T] = ()) -> None:
         self._counts: Counter = Counter(items)
         self._size = sum(self._counts.values())
+        #: maintained Σ c·log2(c) over all element counts.
+        self._clogc = sum(c * _log2(c) for c in self._counts.values() if c > 1)
 
     def add(self, item: T, count: int = 1) -> None:
         """Insert ``count`` occurrences of ``item``."""
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
-        self._counts[item] += count
+        counts = self._counts
+        old = counts.get(item, 0)
+        new = old + count
+        counts[item] = new
         self._size += count
+        if new < _CLOGC_LIMIT:
+            self._clogc += _CLOGC[new] - _CLOGC[old]
+        else:
+            clogc = self._clogc + new * _log2(new)
+            if old > 1:
+                clogc -= old * _log2(old)
+            self._clogc = clogc
+
+    def add_ids(self, ids) -> None:
+        """Bulk-insert an array of small non-negative integer elements.
+
+        ``ids`` is anything ``numpy.bincount`` accepts (a list or array
+        of non-negative ints).  This is the array-backed fast path used
+        when ingesting whole histories (audit fanout construction): one
+        vectorised counting pass, then one accumulator update per
+        *distinct* element instead of per occurrence.
+        """
+        binned = np.bincount(np.asarray(ids, dtype=np.intp))
+        for value in np.flatnonzero(binned):
+            self.add(int(value), int(binned[value]))
 
     def discard(self, item: T, count: int = 1) -> None:
         """Remove up to ``count`` occurrences of ``item`` (no error if absent)."""
         present = self._counts.get(item, 0)
         removed = min(present, count)
         if removed:
-            if present == removed:
+            remaining = present - removed
+            if remaining == 0:
                 del self._counts[item]
             else:
-                self._counts[item] = present - removed
+                self._counts[item] = remaining
             self._size -= removed
+            if self._size == 0:
+                # Re-anchor the accumulator so incremental float error
+                # can never survive an empty state.
+                self._clogc = 0.0
+            elif present < _CLOGC_LIMIT:
+                self._clogc += _CLOGC[remaining] - _CLOGC[present]
+            else:
+                clogc = self._clogc - present * _log2(present)
+                if remaining > 1:
+                    clogc += remaining * _log2(remaining)
+                self._clogc = clogc
 
     def count(self, item: T) -> int:
         """Number of occurrences of ``item``."""
@@ -72,6 +153,10 @@ class Multiset(Generic[T]):
         """The distinct elements as a list."""
         return list(self._counts.keys())
 
+    def counts_array(self) -> "np.ndarray":
+        """The occurrence counts as a numpy vector (order unspecified)."""
+        return np.fromiter(self._counts.values(), dtype=np.intp, count=len(self._counts))
+
     def frequencies(self) -> Dict[T, float]:
         """Empirical distribution: element -> count / total."""
         if self._size == 0:
@@ -82,17 +167,16 @@ class Multiset(Generic[T]):
         """Shannon entropy (base 2) of the empirical distribution.
 
         This is Eq. (1) of the paper: ``H(d̃) = -Σ d̃_i log2 d̃_i`` where
-        ``d̃_i`` is the normalised occurrence count of node ``i``.  An
-        empty multiset has entropy 0 by convention.
+        ``d̃_i`` is the normalised occurrence count of node ``i``,
+        evaluated in O(1) from the maintained ``Σ c·log2(c)``
+        accumulator via ``H = log2(T) - Σ c·log2(c) / T``.  An empty
+        multiset has entropy 0 by convention.
         """
-        if self._size == 0:
+        size = self._size
+        if size == 0:
             return 0.0
-        total = self._size
-        entropy = 0.0
-        for count in self._counts.values():
-            p = count / total
-            entropy -= p * math.log2(p)
-        return entropy
+        entropy = _log2(size) - self._clogc / size
+        return entropy if entropy > 0.0 else 0.0
 
     def max_entropy(self) -> float:
         """Entropy if every occurrence were of a distinct element.
@@ -100,7 +184,7 @@ class Multiset(Generic[T]):
         Equals ``log2(len(self))`` — the paper's bound ``log2(n_h f)``
         for a fanout history of ``n_h f`` entries.
         """
-        return math.log2(self._size) if self._size > 0 else 0.0
+        return _log2(self._size) if self._size > 0 else 0.0
 
     def __len__(self) -> int:
         return self._size
@@ -124,6 +208,7 @@ class Multiset(Generic[T]):
         clone: Multiset[T] = Multiset()
         clone._counts = Counter(self._counts)
         clone._size = self._size
+        clone._clogc = self._clogc
         return clone
 
     def union(self, other: "Multiset[T]") -> "Multiset[T]":

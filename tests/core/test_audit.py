@@ -205,3 +205,27 @@ class TestShortHistoryThreshold:
         assert Auditor._effective_threshold(gamma, 300, full) == pytest.approx(gamma - 1.0)
         # Never raises the bar above γ.
         assert Auditor._effective_threshold(gamma, 1200, full) == pytest.approx(gamma)
+
+    def test_young_node_short_diverse_history_not_auto_guilty(self, auditor, fake_host):
+        # A young node has |F_h| ≪ n_h·f: its entropy ceiling
+        # log2(|F_h|) sits below γ, so against the raw threshold every
+        # young node would be expelled.  The shortfall-lowered threshold
+        # must let a *diverse* short history pass the fanout check.
+        periods = 3  # of the 8-period window: 12 entries vs n_h·f = 32
+        proposals = uniform_history(
+            periods, fake_host.gossip.fanout, fake_host.gossip.n
+        )
+        result = drive_audit(auditor, fake_host, proposals)
+        fanout_size = periods * fake_host.gossip.fanout
+        assert result.fanout_size == fanout_size
+        # Max achievable entropy is below the raw γ — the raw threshold
+        # would auto-expel; the scaled one must not.
+        assert math.log2(fanout_size) < fake_host.lifting.gamma
+        assert result.passed_fanout
+
+    def test_young_concentrated_history_still_fails(self, auditor, fake_host):
+        # The lowered threshold is not a free pass: a short history
+        # concentrated on two colluders still fails.
+        proposals = concentrated_history(3, fake_host.gossip.fanout, [4, 5])
+        result = drive_audit(auditor, fake_host, proposals)
+        assert not result.passed_fanout

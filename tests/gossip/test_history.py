@@ -134,3 +134,79 @@ class TestSnapshot:
         assert h.current_period is None
         h.begin_period(9)
         assert h.current_period == 9
+
+
+class TestRingWraparound:
+    """Pin the flattened ring's behaviour across slot reuse."""
+
+    def test_indexes_forget_evicted_proposers(self):
+        h = LocalHistory(max_periods=3)
+        h.begin_period(1)
+        h.record_received_proposal(42, (1, 2))
+        h.record_confirm_sender(proposer=42, verifier=7)
+        assert h.was_proposed_by(42, (1,))
+        assert h.confirm_senders_about(42) == [7]
+        for period in range(2, 6):  # wraps past period 1
+            h.begin_period(period)
+        assert not h.was_proposed_by(42, (1,))
+        assert not h.received_any_proposal_from(42)
+        assert h.confirm_senders_about(42) == []
+
+    def test_incremental_fanout_matches_rescan_after_wrap(self):
+        h = LocalHistory(max_periods=4)
+        for period in range(1, 12):
+            h.begin_period(period)
+            if period % 3 != 0:  # leave holes: periods without proposals
+                h.record_proposal((period % 5, (period + 1) % 5), (period,))
+        expected = {}
+        for record in h.records():
+            if record.proposal is not None:
+                for partner in record.proposal[0]:
+                    expected[partner] = expected.get(partner, 0) + 1
+        fanout = h.fanout_multiset()
+        assert dict(fanout.items()) == expected
+        assert h.proposal_count() == sum(
+            1 for r in h.records() if r.proposal is not None
+        )
+
+    def test_window_queries_after_many_wraps(self):
+        h = LocalHistory(max_periods=5)
+        for period in range(1, 101):
+            h.begin_period(period)
+            h.record_received_proposal(1, (period,))
+        # Only the last 5 periods' chunks are visible, windows included.
+        assert h.was_proposed_by(1, (100,))
+        assert h.was_proposed_by(1, (96,))
+        assert not h.was_proposed_by(1, (95,))
+        assert h.was_proposed_by(1, (99,), last=2)
+        assert not h.was_proposed_by(1, (98,), last=2)
+
+    def test_records_are_reused_in_place(self):
+        h = LocalHistory(max_periods=2)
+        h.begin_period(1)
+        first = h.records()[-1]
+        h.begin_period(2)
+        h.begin_period(3)  # wraps onto the slot of period 1
+        reused = h.records()[-1]
+        assert reused is first
+        assert reused.period == 3
+        assert reused.proposal is None
+        assert reused.fanin == []
+        assert reused.received_proposals == {}
+        assert reused.confirm_senders == {}
+
+    def test_fanin_lazy_scan_respects_window(self):
+        h = LocalHistory(max_periods=3)
+        for period in range(1, 6):
+            h.begin_period(period)
+            h.record_fanin(period)
+        assert sorted(h.fanin_multiset().elements()) == [3, 4, 5]
+        assert sorted(h.fanin_multiset(last=1).elements()) == [5]
+
+    def test_confirm_senders_window_after_wrap(self):
+        h = LocalHistory(max_periods=4)
+        for period in range(1, 9):
+            h.begin_period(period)
+            h.record_confirm_sender(proposer=2, verifier=period)
+        assert h.confirm_senders_about(2) == [5, 6, 7, 8]
+        assert h.confirm_senders_about(2, last=2) == [7, 8]

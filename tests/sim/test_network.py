@@ -313,3 +313,80 @@ class TestWireSizeTypeCache:
         network.send(0, 1, propose)
         assert network.trace.sent_bytes("Blame") == 2 * blame.wire_size()
         assert network.trace.sent_bytes("Propose") == propose.wire_size()
+
+
+class TestInlineModelFastPaths:
+    """The send path inlines PerNodeLoss / UniformLatency verbatim for
+    the exact stock types; subclasses take the model-call fallback.
+    Both paths must consume the identical RNG draw stream."""
+
+    @staticmethod
+    def _run(loss_cls, latency_cls):
+        import numpy as np
+
+        from repro.sim.latency import UniformLatency
+        from repro.sim.loss import PerNodeLoss
+
+        sim = Simulator()
+        network = Network(
+            sim,
+            latency=latency_cls(np.random.default_rng(5), 0.01, 0.08),
+            loss=loss_cls(np.random.default_rng(6), base=0.2, node_loss={1: 0.1}),
+        )
+        arrivals = []
+
+        class TimestampingRecorder(Recorder):
+            def on_message(self, src, message):
+                arrivals.append(round(sim.now, 12))
+                super().on_message(src, message)
+
+        a, b = TimestampingRecorder(0), TimestampingRecorder(1)
+        network.register(a)
+        network.register(b)
+        message = DataMsg()
+        for i in range(200):
+            if i % 3 == 0:
+                network.send_many(0, (1, 1), message)
+            else:
+                network.send(0, 1, message)
+        sim.run()
+        return arrivals, network.trace.lost_count(), network.trace.sent_count()
+
+    def test_subclassed_models_reproduce_inline_stream(self):
+        from repro.sim.latency import UniformLatency
+        from repro.sim.loss import PerNodeLoss
+
+        class WrappedLoss(PerNodeLoss):
+            pass
+
+        class WrappedLatency(UniformLatency):
+            pass
+
+        inline = self._run(PerNodeLoss, UniformLatency)
+        fallback = self._run(WrappedLoss, WrappedLatency)
+        assert inline == fallback
+
+    def test_invalid_latency_delay_raises_instead_of_rewinding_clock(self):
+        class BrokenLatency(ConstantLatency):
+            def sample(self, src, dst):
+                return -1.0
+
+        sim = Simulator()
+        network = Network(sim, latency=BrokenLatency())
+        network.register(Recorder(0))
+        network.register(Recorder(1))
+        sim.now = 5.0
+        with pytest.raises(ValueError):
+            network.send(0, 1, DataMsg())
+
+    def test_nan_latency_delay_raises(self):
+        class NaNLatency(ConstantLatency):
+            def sample(self, src, dst):
+                return float("nan")
+
+        sim = Simulator()
+        network = Network(sim, latency=NaNLatency())
+        network.register(Recorder(0))
+        network.register(Recorder(1))
+        with pytest.raises(ValueError):
+            network.send(0, 1, DataMsg())

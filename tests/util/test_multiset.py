@@ -100,3 +100,62 @@ class TestEntropy:
         m = Multiset(items)
         concentrated = Multiset(items + [items[0]] * len(items))
         assert concentrated.shannon_entropy() <= m.max_entropy() + 1e-9
+
+
+class TestIncrementalEntropyMaintenance:
+    """The O(1) entropy must track a fresh recomputation through any
+    add/discard sequence (the audit hot path relies on this)."""
+
+    @staticmethod
+    def _reference_entropy(m):
+        total = len(m)
+        if total == 0:
+            return 0.0
+        return -sum(
+            (c / total) * math.log2(c / total) for _item, c in m.items()
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "discard"]),
+                st.integers(min_value=0, max_value=8),
+                st.integers(min_value=1, max_value=5),
+            ),
+            max_size=200,
+        )
+    )
+    def test_tracks_reference_through_mutations(self, ops):
+        m = Multiset()
+        for op, item, count in ops:
+            if op == "add":
+                m.add(item, count)
+            else:
+                m.discard(item, count)
+        assert m.shannon_entropy() == pytest.approx(
+            self._reference_entropy(m), abs=1e-9
+        )
+
+    def test_add_ids_bincount_path_matches_elementwise(self):
+        from repro.util.multiset import entropy_of_counts
+
+        ids = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        bulk = Multiset()
+        bulk.add_ids(ids)
+        slow = Multiset(ids)
+        assert bulk == slow
+        assert bulk.shannon_entropy() == pytest.approx(slow.shannon_entropy())
+        assert entropy_of_counts(bulk.counts_array()) == pytest.approx(
+            slow.shannon_entropy()
+        )
+
+    def test_copy_preserves_accumulator(self):
+        m = Multiset([1, 1, 2, 3, 3, 3])
+        c = m.copy()
+        c.discard(3, 2)
+        assert c.shannon_entropy() == pytest.approx(
+            self._reference_entropy(c), abs=1e-12
+        )
+        assert m.shannon_entropy() == pytest.approx(
+            self._reference_entropy(m), abs=1e-12
+        )
