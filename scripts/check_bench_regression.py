@@ -3,9 +3,10 @@
 
 Re-times the substrate kernels (event engine, network send/deliver,
 300- and 1000-node clusters, Table 5's six-cell experiment grid through
-the parallel orchestration layer) and compares them against the
-``current`` baselines in ``benchmarks/BENCH_substrate.json``.  Exits
-non-zero if any kernel regressed by more than ``TOLERANCE`` (30 %).
+the parallel orchestration layer, and the peak-memory footprint of a
+warm cluster300 sim-second) and compares them against the ``current``
+baselines in ``benchmarks/BENCH_substrate.json``.  Exits non-zero if
+any kernel regressed by more than ``TOLERANCE`` (30 %).
 
 On machines with >= 4 cores the ``jobs=4`` speedup of the six-cell
 grid is additionally checked against the ``parallel`` section's
@@ -132,6 +133,33 @@ def bench_cluster300() -> float:
     return _bench_cluster(300, warmup=3.0, reps=3)
 
 
+def bench_cluster300_peak_mem() -> float:
+    """Peak tracemalloc MiB allocated over one warm cluster300 sim-second.
+
+    Guards the memory side of the delivery plane: the calendar-queue
+    timeline (or any future scheduler change) must not trade unbounded
+    buffering for speed.  tracemalloc counts only allocations made
+    while tracing, i.e. the marginal footprint of a steady-state
+    simulated second (in-flight messages, timeline buckets, protocol
+    state growth) — wall-clock under tracing is irrelevant, so this
+    kernel is far less machine-sensitive than the timing ones.
+    """
+    import tracemalloc
+
+    from repro.experiments.scaling import scaling_config
+    from repro.experiments.cluster import SimCluster
+
+    cluster = SimCluster(scaling_config(300, seed=1))
+    cluster.run(until=3.0)
+    tracemalloc.start()
+    try:
+        cluster.run(until=4.0)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / (1024 * 1024)
+
+
 def bench_cluster1000() -> float:
     """The n=1000 (large-n target) cluster kernel."""
     return _bench_cluster(1000, warmup=2.0, reps=2)
@@ -164,17 +192,21 @@ KERNELS = {
     "engine_events_per_s": (bench_engine, True),
     "send_deliver_msgs_per_s": (bench_send_deliver, True),
     "cluster300_s_per_sim_second": (bench_cluster300, False),
+    "cluster300_peak_mem_mib": (bench_cluster300_peak_mem, False),
     "cluster1000_s_per_sim_second": (bench_cluster1000, False),
     "table5_6cell_grid_serial_s": (bench_table5_grid_serial, False),
 }
 
-#: kernels skipped by --skip-cluster (the slow deployment-scale ones).
+#: kernels skipped by --skip-cluster (the slow deployment-scale timing
+#: ones; the peak-memory kernel stays — it does not depend on machine
+#: speed, so it is enforced even on noisy CI runners).
 CLUSTER_KERNELS = ("cluster300_s_per_sim_second", "cluster1000_s_per_sim_second")
 
 UNITS = {
     "engine_events_per_s": "ops/s",
     "send_deliver_msgs_per_s": "ops/s",
     "cluster300_s_per_sim_second": "s/sim-s",
+    "cluster300_peak_mem_mib": "MiB",
     "cluster1000_s_per_sim_second": "s/sim-s",
     "table5_6cell_grid_serial_s": "s",
 }

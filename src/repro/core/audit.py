@@ -127,6 +127,9 @@ class Auditor:
 
     def __init__(self, host) -> None:
         self.host = host
+        # Fan-out batching entry point when the host offers one (the
+        # simulator-backed GossipNode does; test stubs may not).
+        self._host_send_many = getattr(host, "send_many", None)
         self._active: Dict[NodeId, _AuditState] = {}
         self.results: List[AuditResult] = []
 
@@ -166,14 +169,18 @@ class Auditor:
         state.response_seen = True
         state.proposals = response.proposals
         polls = 0
+        send_many = self._host_send_many
         for period, partners, chunk_ids in response.proposals:
-            for partner in partners:
-                self.host.send(
-                    partner,
-                    HistoryPollRequest(target=src, period=period, chunk_ids=chunk_ids),
-                    reliable=True,
-                )
-                polls += 1
+            # One poll message per history entry, fanned to all alleged
+            # partners in one batched send (the per-destination draw
+            # order and accounting match a per-partner send loop).
+            poll = HistoryPollRequest(target=src, period=period, chunk_ids=chunk_ids)
+            if send_many is not None:
+                send_many(partners, poll, reliable=True)
+            else:
+                for partner in partners:
+                    self.host.send(partner, poll, reliable=True)
+            polls += len(partners)
         state.expected_polls = polls
         if polls == 0:
             self._finalize(state)

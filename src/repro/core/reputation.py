@@ -182,6 +182,27 @@ class ReputationManager:
             record.blame_total += value
             record.blame_events += 1
 
+    def on_blame_entries(self, entries, lo: int, hi: int) -> None:
+        """Wire-level batched blames: a same-destination delivery run.
+
+        The calendar-queue drain's batch entry point (see
+        ``GossipNode.batch_dispatch_table``): ``entries[lo:hi]`` are
+        timeline entries ``[time, seq, src, dst, message]``, applied in
+        firing order with the same float addition sequence as
+        per-message delivery — one frame for the whole run instead of
+        one :meth:`on_blame_message` frame each.  Blame recording never
+        reads the clock, so the drain's run-end ``now`` is already
+        correct.
+        """
+        records = self.records
+        for k in range(lo, hi):
+            message = entries[k][4]
+            record = records.get(message.target)
+            if record is None:
+                continue
+            record.blame_total += message.value
+            record.blame_events += 1
+
     def periods_elapsed(self, record: ManagerRecord) -> float:
         """``r`` — gossip periods the target has spent in the system."""
         elapsed = (self.now() - record.joined_at) / self.gossip.gossip_period

@@ -29,6 +29,7 @@ from repro.wire import (
     TYPE_TAG,
     UDP_HEADER,
     VALUE_BYTES,
+    WIRE_MESSAGE_CLASSES,
 )
 
 __all__ = [
@@ -54,4 +55,5 @@ __all__ = [
     "TYPE_TAG",
     "UDP_HEADER",
     "VALUE_BYTES",
+    "WIRE_MESSAGE_CLASSES",
 ]

@@ -1,4 +1,4 @@
-"""The discrete-event engine: a simulated clock and an event queue.
+"""The discrete-event engine: a simulated clock and a two-tier event queue.
 
 Design notes
 ------------
@@ -9,6 +9,15 @@ Design notes
   increasing sequence number breaks ties, so two events scheduled for
   the same instant fire in scheduling order — this keeps runs fully
   deterministic.
+* The engine is *two-tier*: the binary heap holds timers and periodic
+  control events, and an optionally attached :class:`DeliveryTimeline`
+  (a calendar queue of fixed-width time buckets) holds network
+  deliveries — by far the largest event population.  Scheduling a
+  delivery is an O(1) bucket append instead of an O(log n) sift, and
+  firing one is an amortized O(1) walk of a once-sorted bucket.  The
+  run loop merges the two tiers by ``(time, seq)`` — both draw from the
+  same sequence counter — so the global firing order is *identical* to
+  a single heap's (pinned by the heap-vs-calendar equivalence tests).
 * :class:`Timer` handles (returned by ``call_at`` / ``call_later``) are
   a ``list`` subclass: the handle *is* the heap entry, so a cancellable
   event costs one allocation, and the handle-free :meth:`Simulator.
@@ -30,6 +39,7 @@ Design notes
 from __future__ import annotations
 
 import math
+from bisect import insort
 from heapq import heapify, heappop, heappush
 from typing import Callable, List, Optional
 
@@ -101,6 +111,139 @@ class Timer(list):
         return f"Timer(time={self[_TIME]!r}, {state})"
 
 
+class DeliveryTimeline:
+    """Calendar-queue tier for network deliveries.
+
+    A ring of ``ring_size`` fixed-width time buckets; entries are plain
+    lists ``[time, seq, src, dst, message]`` appended unsorted and
+    sorted once when their bucket becomes *current* (the list-vs-list
+    comparison stops at the unique ``seq``, so ties are broken exactly
+    like heap entries).  A small heap of occupied bucket indices makes
+    cursor advancement O(1) amortized regardless of how sparse the
+    timeline is — no empty-bucket scans.
+
+    Invariants the engine and network rely on:
+
+    * entry times are ``>= sim.now`` at insertion, so every occupied
+      bucket index is ``>= int(now / width)`` and the ring (which spans
+      ``ring_size`` buckets from there) never aliases two occupied
+      indices to one slot — the network falls back to the heap tier for
+      the rare delivery scheduled beyond the horizon;
+    * an insertion into the bucket currently being drained lands
+      *behind* the drain cursor via ``insort`` (its seq is larger than
+      every already-scheduled entry's, and its time is ``>= now``), so
+      in-order draining survives re-entrant scheduling;
+    * an insertion into an already-passed *empty gap* bucket (possible
+      when a timer callback fires inside a gap the cursor skipped over)
+      rewinds the cursor — the untouched current bucket is pushed back
+      into the ring.
+    """
+
+    __slots__ = (
+        "width",
+        "inv_width",
+        "horizon",
+        "_mask",
+        "_ring",
+        "_order",
+        "cur",
+        "cur_pos",
+        "cur_idx",
+        "count",
+    )
+
+    def __init__(self, width: float, ring_size: int = 512) -> None:
+        require(width > 0, "bucket width must be > 0, got %r", width)
+        require(
+            ring_size >= 2 and ring_size & (ring_size - 1) == 0,
+            "ring_size must be a power of two >= 2, got %r",
+            ring_size,
+        )
+        self.width = float(width)
+        self.inv_width = 1.0 / self.width
+        #: deliveries due more than ``horizon`` buckets past ``now``
+        #: cannot be held by the ring (slot aliasing) — callers route
+        #: them through the heap tier instead.
+        self.horizon = ring_size - 1
+        self._mask = ring_size - 1
+        self._ring: List[list] = [[] for _ in range(ring_size)]
+        self._order: List[int] = []  # heap of occupied bucket indices
+        self.cur: list = []  # the bucket being drained (sorted)
+        self.cur_pos = 0  # next undrained position in ``cur``
+        self.cur_idx = -1  # bucket index of ``cur``
+        self.count = 0  # pending entries across ring + cur
+
+    def add(self, entry: list, base_idx: int) -> bool:
+        """Insert ``entry`` (``[time, seq, src, dst, message]``).
+
+        ``base_idx`` is ``int(now * inv_width)``.  Returns False when
+        the entry lies beyond the ring horizon — the caller must then
+        schedule it on the heap tier instead.  The network inlines the
+        common branch of this method on its send path; this method is
+        the reference implementation and the rare-branch handler.
+        """
+        idx = int(entry[0] * self.inv_width)
+        if idx - base_idx >= self.horizon:
+            return False
+        cur_idx = self.cur_idx
+        if idx > cur_idx:
+            slot = self._ring[idx & self._mask]
+            if not slot:
+                heappush(self._order, idx)
+            slot.append(entry)
+        elif idx == cur_idx:
+            # Lands in the bucket being drained: its seq exceeds every
+            # existing entry's and its time is >= now, so it sorts in at
+            # or after the cursor.
+            insort(self.cur, entry, self.cur_pos)
+        else:
+            # The cursor skipped this (then-empty) bucket; rewind.  The
+            # current bucket cannot have been touched yet: an entry of
+            # it having fired would put ``now`` (and hence ``entry``)
+            # past this bucket.
+            if self.cur_pos < len(self.cur):
+                self._ring[cur_idx & self._mask] = self.cur
+                heappush(self._order, cur_idx)
+            self.cur = []
+            self.cur_pos = 0
+            self.cur_idx = idx - 1
+            slot = self._ring[idx & self._mask]
+            if not slot:
+                heappush(self._order, idx)
+            slot.append(entry)
+        self.count += 1
+        return True
+
+    def advance(self) -> bool:
+        """Point ``cur``/``cur_pos`` at the next pending entry.
+
+        Returns False when the timeline is empty.  Detaches the next
+        occupied bucket from the ring and sorts it exactly once.
+        """
+        while self.cur_pos >= len(self.cur):
+            order = self._order
+            if not order:
+                return False
+            idx = heappop(order)
+            slot = idx & self._mask
+            bucket = self._ring[slot]
+            self._ring[slot] = []
+            bucket.sort()
+            self.cur = bucket
+            self.cur_pos = 0
+            self.cur_idx = idx
+        return True
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeliveryTimeline(width={self.width!r}, pending={self.count}, "
+            f"cur_idx={self.cur_idx})"
+        )
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -121,6 +264,8 @@ class Simulator:
         "_live",
         "_cancelled_in_heap",
         "_cancel_generation",
+        "_timeline",
+        "_drain",
     )
 
     def __init__(self, start_time: float = 0.0) -> None:
@@ -128,9 +273,36 @@ class Simulator:
         self._queue: List[list] = []
         self._sequence = 0
         self._events_processed = 0
-        self._live = 0  # O(1) pending-event counter
+        self._live = 0  # O(1) pending-event counter (heap + timeline)
         self._cancelled_in_heap = 0  # cancelled entries awaiting lazy deletion
         self._cancel_generation = 0  # total cancellations ever issued
+        self._timeline: Optional[DeliveryTimeline] = None
+        self._drain: Optional[Callable[[float, float], int]] = None
+
+    # ------------------------------------------------------------------
+    # the delivery tier
+    # ------------------------------------------------------------------
+    def attach_timeline(
+        self, timeline: DeliveryTimeline, drain: Callable[[float, float], int]
+    ) -> None:
+        """Attach the calendar-queue delivery tier (at most one).
+
+        ``drain(until, budget)`` must fire pending timeline entries in
+        ``(time, seq)`` order — setting ``now`` per entry and yielding
+        back when a live heap event preempts, an entry is due past
+        ``until``, ``budget`` entries have fired, or the timeline is
+        exhausted — and return how many entries it fired.  The network
+        owns the drain so delivery semantics stay out of the engine.
+        """
+        require(self._timeline is None, "a delivery timeline is already attached")
+        require(self.now >= 0.0, "delivery timeline requires a non-negative clock")
+        self._timeline = timeline
+        self._drain = drain
+
+    @property
+    def timeline(self) -> Optional[DeliveryTimeline]:
+        """The attached delivery timeline, if any."""
+        return self._timeline
 
     # ------------------------------------------------------------------
     # scheduling
@@ -240,6 +412,25 @@ class Simulator:
     def step(self) -> bool:
         """Run the next event.  Returns False when no live event remains."""
         queue = self._queue
+        timeline = self._timeline
+        if timeline is not None and timeline.count and (
+            timeline.cur_pos < len(timeline.cur) or timeline.advance()
+        ):
+            d = timeline.cur[timeline.cur_pos]
+            while queue:
+                head = queue[0]
+                if head[_STATUS] == _PENDING:
+                    break
+                heappop(queue)
+                self._cancelled_in_heap -= 1
+            if not queue or d[_TIME] < queue[0][_TIME] or (
+                d[_TIME] == queue[0][_TIME] and d[_SEQ] < queue[0][_SEQ]
+            ):
+                fired = self._drain(_INF, 1)
+                timeline.count -= fired
+                self._live -= fired
+                self._events_processed += fired
+                return fired > 0
         while queue:
             entry = heappop(queue)
             if entry[_STATUS] != _PENDING:
@@ -272,7 +463,16 @@ class Simulator:
         observing ``pending_events`` / ``events_processed`` *mid-run*
         see values as of the run's start, plus anything they scheduled
         or cancelled themselves.
+
+        With a delivery timeline attached the loop merges the two tiers
+        by ``(time, seq)``: runs of timeline entries due before the next
+        live heap event are handed to the drain in one call, so the
+        per-event engine overhead is paid per *batch* of deliveries and
+        per heap event, never per delivered message.
         """
+        if self._timeline is not None:
+            self._run_two_tier(until=until, max_events=max_events)
+            return
         queue = self._queue
         fired = 0
         unbounded = max_events is None
@@ -304,6 +504,69 @@ class Simulator:
                     entry[_CALLBACK](*args)
                 else:
                     entry[_CALLBACK]()
+            if until != _INF and until > self.now:
+                self.now = until
+        finally:
+            self._events_processed += fired
+            self._live -= fired
+
+    def _run_two_tier(self, *, until: float, max_events: Optional[int]) -> None:
+        """The run loop with the calendar-queue delivery tier attached.
+
+        Same contract as :meth:`run`.  Heap events fire here; timeline
+        entries fire inside the attached drain, which yields back
+        whenever a live heap event is due first.
+        """
+        queue = self._queue
+        timeline = self._timeline
+        drain = self._drain
+        fired = 0
+        unbounded = max_events is None
+        pop = heappop
+        try:
+            while True:
+                head = None
+                while queue:
+                    entry = queue[0]
+                    if entry[_STATUS] == _PENDING:
+                        head = entry
+                        break
+                    pop(queue)
+                    self._cancelled_in_heap -= 1
+                if timeline.count and (
+                    timeline.cur_pos < len(timeline.cur) or timeline.advance()
+                ):
+                    d = timeline.cur[timeline.cur_pos]
+                    time = d[_TIME]
+                    if head is None or time < head[_TIME] or (
+                        time == head[_TIME] and d[_SEQ] < head[_SEQ]
+                    ):
+                        if time > until:
+                            self.now = until
+                            return
+                        if not unbounded and fired >= max_events:
+                            return
+                        n = drain(until, _INF if unbounded else max_events - fired)
+                        fired += n
+                        timeline.count -= n
+                        continue
+                if head is None:
+                    break
+                time = head[_TIME]
+                if time > until:
+                    self.now = until
+                    return
+                if not unbounded and fired >= max_events:
+                    return
+                pop(queue)
+                self.now = time
+                head[_STATUS] = _FIRED
+                fired += 1
+                args = head[_ARGS]
+                if args:
+                    head[_CALLBACK](*args)
+                else:
+                    head[_CALLBACK]()
             if until != _INF and until > self.now:
                 self.now = until
         finally:

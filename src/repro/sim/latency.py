@@ -39,6 +39,18 @@ class LatencyModel(abc.ABC):
     def sample(self, src: NodeId, dst: NodeId) -> float:
         """One-way latency in seconds for this transmission."""
 
+    def delivery_window(self) -> tuple:
+        """``(min_delay, span)`` hint for the delivery-plane scheduler.
+
+        ``min_delay`` must be a *lower bound* on any delay the model can
+        produce (the network only enables same-bucket batch dispatch
+        when the bucket width fits under it), and ``span`` the typical
+        spread of delays (used to size the calendar-queue buckets).
+        Unknown models return ``(0.0, 0.0)``: the timeline still works,
+        just with conservative defaults and batching disabled.
+        """
+        return (0.0, 0.0)
+
 
 class ConstantLatency(LatencyModel):
     """Every message takes exactly ``delay`` seconds."""
@@ -48,6 +60,9 @@ class ConstantLatency(LatencyModel):
 
     def sample(self, src: NodeId, dst: NodeId) -> float:
         return self.delay
+
+    def delivery_window(self) -> tuple:
+        return (self.delay, 0.0)
 
 
 class UniformLatency(LatencyModel):
@@ -70,6 +85,9 @@ class UniformLatency(LatencyModel):
             i = 0
         self._next = i + 1
         return block[i]
+
+    def delivery_window(self) -> tuple:
+        return (self.low, self.high - self.low)
 
 
 class LogNormalLatency(LatencyModel):
@@ -106,6 +124,11 @@ class LogNormalLatency(LatencyModel):
         self._next = i + 1
         return block[i]
 
+    def delivery_window(self) -> tuple:
+        # A lognormal's infimum is 0: batching stays off, and the median
+        # (not the cap) sizes the buckets — the tail is rare by design.
+        return (0.0, self.median)
+
 
 class PerNodeLatency(LatencyModel):
     """Adds per-node access delays on top of a base model.
@@ -129,3 +152,8 @@ class PerNodeLatency(LatencyModel):
             + self.access_delay.get(src, 0.0)
             + self.access_delay.get(dst, 0.0)
         )
+
+    def delivery_window(self) -> tuple:
+        # Access delays only add: the base minimum stays a lower bound.
+        base_min, base_span = self.base.delivery_window()
+        return (base_min, base_span)

@@ -22,10 +22,11 @@ from typing import Callable, Dict, Optional, Protocol
 
 _INF = math.inf
 
-from heapq import heappush
+from bisect import insort
+from heapq import heappop, heappush
 
 from repro.sim.bandwidth import UploadLink
-from repro.sim.engine import Simulator
+from repro.sim.engine import DeliveryTimeline, Simulator
 from repro.sim.engine import _PENDING  # heap-entry status word (see below)
 from repro.sim.latency import SAMPLE_BLOCK, ConstantLatency, LatencyModel, UniformLatency
 from repro.sim.loss import LossModel, NoLoss, PerNodeLoss
@@ -102,11 +103,22 @@ class Network:
         Multiplier on the latency sample for TCP messages (handshake +
         acknowledgement round trips).  The paper's audits tolerate this
         because they are sporadic.
+    use_timeline:
+        Schedule deliveries on a calendar-queue
+        :class:`~repro.sim.engine.DeliveryTimeline` attached to the
+        engine (O(1) amortized per message) instead of the binary heap.
+        Firing order is identical either way (pinned by the
+        heap-vs-calendar equivalence tests); disable to run the heap
+        scheduler, e.g. for A/B testing.  A simulator holds at most one
+        timeline: a second network on the same engine silently keeps
+        the heap path.
 
     The ``latency`` and ``loss`` models are fixed at construction (their
     *state* may be mutated — ``set_node_loss`` etc. — but the attributes
     must not be rebound afterwards: the send fast path specialises on
-    their concrete types once, here in ``__init__``).
+    their concrete types once, here in ``__init__``, and the timeline
+    bucket width is sized from the latency model's
+    ``delivery_window()`` hint).
     """
 
     __slots__ = (
@@ -123,6 +135,8 @@ class Network:
         "_receivers",
         "_loss_inline",
         "_latency_inline",
+        "_timeline",
+        "_batch_runs",
     )
 
     def __init__(
@@ -132,6 +146,7 @@ class Network:
         loss: Optional[LossModel] = None,
         trace: Optional[MessageTrace] = None,
         tcp_latency_factor: float = 2.0,
+        use_timeline: bool = True,
     ) -> None:
         self.sim = sim
         self.latency = latency if latency is not None else ConstantLatency()
@@ -153,9 +168,28 @@ class Network:
         # type -> int (fixed size) | unbound sizer; only consulted while
         # ``wire_size`` is the default (a custom sizer bypasses it).
         self._size_cache: Dict[type, object] = {}
-        # node -> (endpoint, dispatch table or None); delivery jumps
-        # straight to the handler when the endpoint publishes a table.
+        # node -> (endpoint, dispatch table or None, batch table or
+        # None); delivery jumps straight to the handler when the
+        # endpoint publishes a table.
         self._receivers: Dict[NodeId, tuple] = {}
+        # --- the calendar-queue delivery tier --------------------------
+        # Bucket width heuristic: an eighth of the latency spread, at
+        # least half the minimum delay (so constant-latency models get
+        # sensibly coarse buckets), floored at 1 ms.  Same-destination
+        # batch dispatch additionally requires width <= the minimum
+        # possible arrival delay: then nothing can land *between* the
+        # entries of an already-committed same-bucket run.
+        self._timeline: Optional[DeliveryTimeline] = None
+        self._batch_runs = False
+        if use_timeline and sim._timeline is None and sim.now >= 0.0:
+            window = getattr(self.latency, "delivery_window", None)
+            min_delay, span = window() if window is not None else (0.0, 0.0)
+            width = max(span / 8.0, min_delay / 2.0, 0.001)
+            timeline = DeliveryTimeline(width)
+            sim.attach_timeline(timeline, self._drain)
+            self._timeline = timeline
+            min_arrival = min_delay * min(1.0, tcp_latency_factor)
+            self._batch_runs = min_arrival > 0.0 and width <= min_arrival
 
     # ------------------------------------------------------------------
     # membership of the network fabric
@@ -168,9 +202,15 @@ class Network:
         self._links[node_id] = UploadLink(upload_rate)
         # Endpoints that expose their type-keyed dispatch table (see
         # GossipNode.dispatch_table) are delivered to through it without
-        # the intermediate ``on_message`` frame.  The table must be
+        # the intermediate ``on_message`` frame; a batch table (see
+        # GossipNode.batch_dispatch_table) additionally lets the drain
+        # hand over whole same-type delivery runs.  Both tables must be
         # fixed after registration.
-        self._receivers[node_id] = (endpoint, getattr(endpoint, "dispatch_table", None))
+        self._receivers[node_id] = (
+            endpoint,
+            getattr(endpoint, "dispatch_table", None),
+            getattr(endpoint, "batch_dispatch_table", None),
+        )
 
     def set_upload_rate(self, node: NodeId, rate_bytes_per_s: float) -> None:
         """Replace the upload capacity of ``node``."""
@@ -271,6 +311,7 @@ class Network:
             size = ws(message)
 
         sim = self.sim
+        now = sim.now  # constant for the whole fan-out: no event fires here
         link = self._links[src]
         link_unbounded = link.rate == _INF
         loss = self.loss
@@ -283,12 +324,39 @@ class Network:
         deliver = self._deliver
         trace = self.trace
         lost_counts = None
+        # Per-fan-out hoists of the inlined model state: the source
+        # loss factor is destination-independent, and the block lengths
+        # only change on refill (always to SAMPLE_BLOCK) — this keeps
+        # the loop free of len() and repeated dict lookups while the
+        # float expressions stay associatively identical to the models'.
+        if loss_inline:
+            node_loss = loss.node_loss
+            if node_loss:
+                p_fixed = None
+                keep = (1.0 - loss.base) * (1.0 - node_loss.get(src, 0.0))
+            else:
+                p_fixed = 1.0 - (1.0 - loss.base)
+            loss_block = loss._block
+            loss_len = len(loss_block)
+        if latency_inline:
+            lat_block = latency._block
+            lat_len = len(lat_block)
+        # Calendar-queue tier state (see DeliveryTimeline.add, whose
+        # common branch is inlined below: one list append per message).
+        tl = self._timeline
+        if tl is not None:
+            tl_ring = tl._ring
+            tl_mask = tl._mask
+            tl_order = tl._order
+            tl_inv_width = tl.inv_width
+            tl_horizon = tl.horizon
+            base_idx = int(now * tl_inv_width)
+        tl_added = 0
 
         sent = 0
         for dst in dsts:
             if dst not in endpoints or (disconnected and dst in disconnected):
                 continue
-            now = sim.now
             if link_unbounded:
                 link.bytes_sent += size
                 departure = now
@@ -298,50 +366,44 @@ class Network:
 
             if udp:
                 if loss_inline:  # PerNodeLoss.is_lost, verbatim
-                    node_loss = loss.node_loss
-                    if node_loss:
-                        p = 1.0 - (
-                            (1.0 - loss.base)
-                            * (1.0 - node_loss.get(src, 0.0))
-                            * (1.0 - node_loss.get(dst, 0.0))
-                        )
+                    if p_fixed is not None:
+                        p = p_fixed
                     else:
-                        p = 1.0 - (1.0 - loss.base)
+                        p = 1.0 - keep * (1.0 - node_loss.get(dst, 0.0))
                     if p <= 0.0:
                         dropped = False
                     else:
                         i = loss._next
-                        block = loss._block
-                        if i >= len(block):
-                            block = loss._block = loss._rng.random(SAMPLE_BLOCK).tolist()
+                        if i >= loss_len:
+                            loss_block = loss._block = loss._rng.random(SAMPLE_BLOCK).tolist()
+                            loss_len = SAMPLE_BLOCK
                             i = 0
                         loss._next = i + 1
-                        dropped = block[i] < p
+                        dropped = loss_block[i] < p
                 else:
                     dropped = loss.is_lost(src, dst)
                 if dropped:
                     if lost_counts is None:
                         lost_counts = trace._lost
-                    lost_counts[cls] = lost_counts.get(cls, 0) + 1
+                    lost_counts[cls] += 1
                     continue
 
             if latency_inline:  # UniformLatency.sample, verbatim
                 i = latency._next
-                block = latency._block
-                if i >= len(block):
-                    block = latency._block = latency._rng.uniform(
+                if i >= lat_len:
+                    lat_block = latency._block = latency._rng.uniform(
                         latency.low, latency.high, SAMPLE_BLOCK
                     ).tolist()
+                    lat_len = SAMPLE_BLOCK
                     i = 0
                 latency._next = i + 1
-                delay = block[i]
+                delay = lat_block[i]
             else:
                 delay = latency.sample(src, dst)
             if not udp:
                 delay *= tcp_factor
             arrival = (departure if departure > now else now) + delay
-            # Inlined Simulator.schedule (delivery events are the single
-            # biggest event source), keeping its time validation as one
+            # Keeping Simulator.schedule's time validation as one
             # comparison: a buggy latency model returning a negative or
             # NaN delay must raise here, not silently rewind the clock.
             if not (now <= arrival < _INF):
@@ -349,22 +411,39 @@ class Network:
                     f"latency model produced invalid delivery time {arrival!r} "
                     f"(now={now!r}, delay={delay!r})"
                 )
-            heappush(queue, [arrival, sim._sequence, deliver, (src, dst, message), _PENDING])
+            if tl is not None:
+                # Inlined DeliveryTimeline.add common branch: a future
+                # in-horizon bucket costs one append.  Rare branches
+                # (current bucket, cursor rewind) take the method; the
+                # past-horizon outlier rides the heap tier — the run
+                # loop merges the tiers by (time, seq) either way.
+                idx = int(arrival * tl_inv_width)
+                if idx > tl.cur_idx and idx - base_idx < tl_horizon:
+                    slot = tl_ring[idx & tl_mask]
+                    if not slot:
+                        heappush(tl_order, idx)
+                    slot.append([arrival, sim._sequence, src, dst, message])
+                    tl_added += 1
+                elif not tl.add([arrival, sim._sequence, src, dst, message], base_idx):
+                    heappush(
+                        queue,
+                        [arrival, sim._sequence, deliver, (src, dst, message), _PENDING],
+                    )
+            else:
+                heappush(queue, [arrival, sim._sequence, deliver, (src, dst, message), _PENDING])
             sim._sequence += 1
             sim._live += 1
 
         if sent:
-            per_src = trace._sent.get(cls)
-            if per_src is None:
-                per_src = trace._sent[cls] = {}
-            entry = per_src.get(src)
-            if entry is None:
-                entry = per_src[src] = [0, 0]
+            entry = trace._sent[cls][src]
             entry[0] += sent
             entry[1] += sent * size
+        if tl_added:
+            tl.count += tl_added
         return sent
 
     def _deliver(self, src: NodeId, dst: NodeId, message: object) -> None:
+        """Heap-tier delivery (past-horizon outliers, ``use_timeline=False``)."""
         disconnected = self._disconnected
         if disconnected and (dst in disconnected or src in disconnected):
             # Expulsion takes effect immediately: in-flight traffic of an
@@ -374,8 +453,7 @@ class Network:
         if receiver is None:
             return
         cls = message.__class__
-        delivered = self.trace._delivered
-        delivered[cls] = delivered.get(cls, 0) + 1
+        self.trace._delivered[cls] += 1
         dispatch = receiver[1]
         if dispatch is not None:
             handler = dispatch.get(cls)
@@ -383,3 +461,133 @@ class Network:
                 handler(src, message)
             return
         receiver[0].on_message(src, message)
+
+    def _drain(self, until: float, budget) -> int:
+        """Fire pending timeline deliveries in global ``(time, seq)`` order.
+
+        The engine's run loop calls this whenever the timeline head is
+        due before the next live heap event; it returns the number of
+        entries fired, yielding back when a heap event preempts (checked
+        against the *live* heap head per entry, so timers scheduled by
+        delivery handlers interleave exactly as they would under the
+        heap scheduler), an entry is due past ``until``, ``budget``
+        entries have fired, or the timeline is exhausted.
+
+        Consecutive entries for the same destination and message class
+        are handed to the endpoint's batch table in one call when the
+        network certified batch dispatch (bucket width <= minimum
+        arrival delay, so nothing can land inside a committed run; see
+        ``__init__``).  Batching is suspended while any node is
+        disconnected — the per-entry path re-checks expulsion per
+        message, exactly like :meth:`_deliver`.
+        """
+        sim = self.sim
+        tl = self._timeline
+        queue = sim._queue
+        receivers = self._receivers
+        delivered = self.trace._delivered
+        disconnected = self._disconnected
+        batch_runs = self._batch_runs
+        advance = tl.advance
+        fired = 0
+        while tl.cur_pos < len(tl.cur) or advance():
+            cur = tl.cur
+            i = tl.cur_pos
+            while True:
+                try:
+                    e = cur[i]
+                except IndexError:
+                    tl.cur_pos = i
+                    break  # bucket drained; advance to the next one
+                t = e[0]
+                if t > until:
+                    tl.cur_pos = i
+                    return fired
+                # A live heap event due first preempts the drain.
+                preempt = False
+                while queue:
+                    h = queue[0]
+                    if h[4] == 0:  # _PENDING
+                        if h[0] < t or (h[0] == t and h[1] < e[1]):
+                            preempt = True
+                        break
+                    heappop(queue)
+                    sim._cancelled_in_heap -= 1
+                if preempt or fired >= budget:
+                    tl.cur_pos = i
+                    return fired
+                dst = e[3]
+                message = e[4]
+                cls = message.__class__
+                receiver = receivers[dst]
+                if batch_runs and not disconnected:
+                    batch_table = receiver[2]
+                    if batch_table is not None:
+                        # Cheap gate first: only probe the batch table
+                        # when the next entry already matches.
+                        j = i + 1
+                        run = False
+                        try:
+                            e2 = cur[j]
+                            run = e2[3] == dst and e2[4].__class__ is cls
+                        except IndexError:
+                            pass
+                        if run:
+                            handler = batch_table.get(cls)
+                            if handler is not None:
+                                if queue:
+                                    h = queue[0]
+                                    ht = h[0]
+                                    hs = h[1]
+                                else:
+                                    ht = _INF
+                                    hs = 0
+                                limit = i + (budget - fired)
+                                j = i + 1
+                                while j < limit:
+                                    try:
+                                        e2 = cur[j]
+                                    except IndexError:
+                                        break
+                                    if e2[3] != dst or e2[4].__class__ is not cls:
+                                        break
+                                    t2 = e2[0]
+                                    if t2 > until or t2 > ht or (t2 == ht and e2[1] > hs):
+                                        break
+                                    j += 1
+                                if j > i + 1:
+                                    tl.cur_pos = j
+                                    fired += j - i
+                                    delivered[cls] += j - i
+                                    # The run's end time becomes ``now``;
+                                    # handlers needing per-entry times
+                                    # (clock reads, sends) advance it
+                                    # entry by entry themselves.
+                                    sim.now = cur[j - 1][0]
+                                    handler(cur, i, j)
+                                    i = j
+                                    continue
+                tl.cur_pos = i + 1
+                sim.now = t
+                fired += 1
+                if disconnected and (dst in disconnected or e[2] in disconnected):
+                    i += 1
+                    continue
+                delivered[cls] += 1
+                dispatch = receiver[1]
+                if dispatch is not None:
+                    # Subscript, not .get: GossipNode pre-seeds every
+                    # wire class (missing handlers as None), so this
+                    # only raises for non-protocol message types.
+                    try:
+                        handler = dispatch[cls]
+                    except KeyError:
+                        handler = None
+                    if handler is not None:
+                        handler(e[2], message)
+                else:
+                    receiver[0].on_message(e[2], message)
+                # Handlers never move the cursor (re-entrant adds insort
+                # at or after it), so the next index is simply i + 1.
+                i += 1
+        return fired

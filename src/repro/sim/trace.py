@@ -22,9 +22,19 @@ is a net win of several dict operations per message.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Dict, Iterable, List, Optional
 
 NodeId = int
+
+
+def _new_sent_entry() -> list:
+    """``[count, bytes]`` accumulator (module-level: traces pickle)."""
+    return [0, 0]
+
+
+def _new_per_src() -> "defaultdict":
+    return defaultdict(_new_sent_entry)
 
 CATEGORY_DATA = "data"
 CATEGORY_VERIFICATION = "verification"
@@ -79,34 +89,29 @@ class MessageTrace:
     """
 
     def __init__(self) -> None:
-        #: cls -> {src -> [sent_count, sent_bytes]}
-        self._sent: Dict[type, Dict[NodeId, List[int]]] = {}
-        self._lost: Dict[type, int] = {}
-        self._delivered: Dict[type, int] = {}
+        #: cls -> {src -> [sent_count, sent_bytes]}; defaultdicts so the
+        #: network's inline accounting is one auto-vivifying subscript
+        #: per send instead of a get-miss-insert dance per message.
+        self._sent: Dict[type, Dict[NodeId, List[int]]] = defaultdict(_new_per_src)
+        self._lost: Dict[type, int] = defaultdict(int)
+        self._delivered: Dict[type, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
     # recording (called by the network)
     # ------------------------------------------------------------------
     def record_sent(self, src: NodeId, message: object, size: int) -> None:
         """Account an outgoing message (before any loss decision)."""
-        per_src = self._sent.get(message.__class__)
-        if per_src is None:
-            per_src = self._sent[message.__class__] = {}
-        entry = per_src.get(src)
-        if entry is None:
-            entry = per_src[src] = [0, 0]
+        entry = self._sent[message.__class__][src]
         entry[0] += 1
         entry[1] += size
 
     def record_lost(self, src: NodeId, dst: NodeId, message: object) -> None:
         """Account a datagram dropped by the loss model."""
-        cls = message.__class__
-        self._lost[cls] = self._lost.get(cls, 0) + 1
+        self._lost[message.__class__] += 1
 
     def record_delivered(self, dst: NodeId, message: object) -> None:
         """Account a delivered message."""
-        cls = message.__class__
-        self._delivered[cls] = self._delivered.get(cls, 0) + 1
+        self._delivered[message.__class__] += 1
 
     # ------------------------------------------------------------------
     # queries

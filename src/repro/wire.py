@@ -305,3 +305,25 @@ class HistoryPollResponse:
             + 1
             + NODE_ID_BYTES * len(self.confirm_senders)
         )
+
+
+#: Every wire message class, in declaration order.  The protocol node
+#: pre-seeds its dispatch table with all of them (absent handlers map to
+#: ``None``) so the network's delivery drain resolves handlers with a
+#: plain subscript that can only miss for non-protocol message types.
+WIRE_MESSAGE_CLASSES = (
+    Propose,
+    Request,
+    Serve,
+    Ack,
+    Confirm,
+    ConfirmResponse,
+    Blame,
+    ScoreQuery,
+    ScoreReply,
+    ExpelVote,
+    AuditRequest,
+    AuditResponse,
+    HistoryPollRequest,
+    HistoryPollResponse,
+)
