@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench-parallel bench-scaling bench-scaling-smoke bench-check bench-check-fast bench-baseline bench-full
+.PHONY: test bench-smoke bench-parallel bench-scenarios bench-scaling bench-scaling-smoke bench-check bench-check-fast bench-baseline bench-full
 
 ## Tier-1 test suite (must stay green).
 test:
@@ -17,6 +17,10 @@ bench-smoke:
 ## Parallel orchestration scaling + equivalence (speedup asserted on >=4 cores).
 bench-parallel:
 	python -m pytest benchmarks/bench_parallel_experiments.py -q
+
+## Registry sweep: every scenario at smoke size + RunResult round-trip.
+bench-scenarios:
+	python benchmarks/bench_scenarios.py --smoke
 
 ## Large-n scalability curve (s per sim-second vs n); --record to persist.
 bench-scaling:

@@ -24,7 +24,6 @@ do not contend for cores).
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import pathlib
 import sys
@@ -77,7 +76,10 @@ def main(argv=None) -> int:
             return 1
 
     if args.record:
-        data = json.loads(BENCH_FILE.read_text())
+        from repro.scenarios import RunResult
+
+        envelope = RunResult.load(BENCH_FILE)
+        data = dict(envelope.metrics)
         data["scaling"] = {
             "note": (
                 "Large-n scalability curve (benchmarks/bench_scaling_curve.py, "
@@ -89,7 +91,7 @@ def main(argv=None) -> int:
             ),
             **result.as_dict(),
         }
-        BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        envelope.with_metrics(data).dump(BENCH_FILE)
         print(f"recorded scaling curve in {BENCH_FILE}")
     return 0
 

@@ -4,22 +4,24 @@
 Table 5 of the paper reports the verification + reputation traffic as a
 percentage of the data traffic for every combination of stream rate
 {674, 1082, 2036} kbps and cross-checking probability p_dcc ∈
-{0, 0.5, 1}.  Each grid cell is an *independent* deployment, so this
-example fans the nine clusters out over a process pool and shows that
-the parallel run reproduces the serial result bit for bit.
+{0, 0.5, 1}.  Each grid cell is an *independent* deployment, so the
+``table5`` scenario fans the nine clusters out over a process pool and
+this example shows that the parallel run reproduces the serial result
+bit for bit.
 
 Run with::
 
     python examples/overhead_grid.py [--jobs N]
 
-``--jobs 0`` (the default here) uses every core.
+``--jobs 0`` (the default here) uses every core.  Equivalent CLI:
+``repro run table5 --n 80 --duration 8 --jobs 0`` (or the legacy alias
+``repro overhead``).
 """
 
 import argparse
 import pickle
-import time
 
-from repro.experiments.table5 import run_table5
+from repro import run_scenario
 
 
 def main() -> None:
@@ -37,23 +39,23 @@ def main() -> None:
     args = parser.parse_args()
 
     print(f"measuring the 3x3 overhead grid (n={args.nodes}, jobs={args.jobs})...")
-    start = time.perf_counter()
-    result = run_table5(n=args.nodes, duration=args.duration, jobs=args.jobs)
-    elapsed = time.perf_counter() - start
+    result = run_scenario(
+        "table5", n=args.nodes, duration=args.duration, jobs=args.jobs
+    )
 
     print("\nrate(kbps)  p_dcc  measured   paper")
-    for rate, p_dcc, measured, paper in result.rows():
+    for rate, p_dcc, measured, paper in result.artifact.rows():
         print(f"{rate:9.0f}   {p_dcc:4.1f}   {measured:6.2f}%   {paper:5.2f}%")
-    print(f"\nwall clock: {elapsed:.1f}s")
+    print(f"\nwall clock: {result.wall_seconds:.1f}s")
 
     if args.check:
         print("re-running serially to verify bit-identical results...")
-        start = time.perf_counter()
-        serial = run_table5(n=args.nodes, duration=args.duration, jobs=1)
-        serial_elapsed = time.perf_counter() - start
-        identical = pickle.dumps(serial) == pickle.dumps(result)
-        print(f"serial wall clock: {serial_elapsed:.1f}s "
-              f"(speedup {serial_elapsed / elapsed:.2f}x); "
+        serial = run_scenario(
+            "table5", n=args.nodes, duration=args.duration, jobs=1
+        )
+        identical = pickle.dumps(serial.artifact) == pickle.dumps(result.artifact)
+        print(f"serial wall clock: {serial.wall_seconds:.1f}s "
+              f"(speedup {serial.wall_seconds / result.wall_seconds:.2f}x); "
               f"byte-identical: {identical}")
 
 

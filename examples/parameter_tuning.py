@@ -3,103 +3,83 @@
 
 The paper's stance (§9): "a theoretical analysis ... allows system
 designers to set its parameters to their optimal values".  This example
-plays that designer: given a deployment (n, f, |R|, loss rate), it uses
-:mod:`repro.analysis` to derive
+plays that designer through the ``analyze`` scenario: given a
+deployment (f, |R|, loss rate, coalition size), it derives
 
 * the compensation ``b̃`` (Eq. 5) and the blame a freerider of degree Δ
-  should expect (``b̃'(Δ)``),
-* the score threshold η and grace period r for target α/β rates
-  (Tchebychev bounds of §6.3.1),
+  should expect,
+* the score threshold η bounds and grace period r for target α/β rates
+  (Tchebychev bounds of §6.3.1), cross-validated against the
+  Monte-Carlo engine,
 * the entropy threshold γ and the history length n_h needed to cap the
   collusion bias (Eq. 7),
-* the expected verification message budget (Table 3's model),
-
-and cross-validates the score-based numbers against the Monte-Carlo
-engine.
+* the expected verification message budget (Table 3's model).
 
 Run with::
 
     python examples/parameter_tuning.py
+
+Equivalent CLI: ``repro run analyze --set mc-samples=100000`` (the
+legacy alias ``repro analyze`` works too).
 """
 
-import numpy as np
-
-from repro.analysis.detection import (
-    alpha_lower_bound,
-    beta_upper_bound,
-    minimum_periods_for_beta,
-)
-from repro.analysis.entropy_analysis import (
-    gamma_for_window,
-    max_bias_probability,
-    required_history_for_bias,
-)
-from repro.analysis.freerider_blames import expected_blame_excess
-from repro.analysis.overhead import expected_message_counts
-from repro.analysis.wrongful_blames import expected_blame_honest
-from repro.config import FreeriderDegree
-from repro.mc.blame_model import BlameModel, simulate_scores
-from repro.util.rng import make_generator
+from repro import run_scenario
 
 
 def main() -> None:
     # --- the deployment the designer is planning -----------------------
-    f, request_size, loss = 12, 4, 0.07
-    p_r = 1 - loss
-    eta = -9.75
-    rounds = 50
-    degree = FreeriderDegree.uniform(0.1)
+    result = run_scenario(
+        "analyze",
+        fanout=12,
+        request_size=4,
+        loss=0.07,
+        colluders=25,
+        history=50,
+        eta=-9.75,
+        rounds=50,
+        delta=0.1,
+        mc_samples=100_000,
+    )
+    m = result.metrics
 
-    print(f"deployment: f={f}, |R|={request_size}, loss={loss:.0%}")
+    print(f"deployment: f={m['fanout']}, |R|={m['request_size']}, "
+          f"loss={m['loss']:.0%}")
 
     # --- blame calibration ---------------------------------------------
-    b_honest = expected_blame_honest(f, request_size, p_r)
-    excess = expected_blame_excess(degree, f, request_size, p_r)
-    print(f"\ncompensation b~ (Eq. 5):                 {b_honest:.2f} per period")
-    print(f"freerider (delta=0.1) blame excess:      {excess:.2f} per period")
+    print(f"\ncompensation b~ (Eq. 5):                 {m['compensation']:.2f} per period")
+    excess_01 = m["blame_excess_by_delta"]["0.1"]
+    print(f"freerider (delta=0.1) blame excess:      "
+          f"{excess_01['excess_per_period']:.2f} per period "
+          f"(gain {excess_01['bandwidth_gain']:.0%})")
 
     # --- thresholds from the Tchebychev bounds --------------------------
-    model = BlameModel(f, request_size, p_r)
-    rng = make_generator(0, "tuning")
-    sigma = model.sample_sigma(rng, samples=100_000)
-    print(f"per-period blame stddev sigma(b):        {sigma:.2f} (MC)")
-    print(f"beta bound at eta={eta}, r={rounds}:       "
-          f"{beta_upper_bound(sigma, rounds, eta):.4f}")
-    sigma_fr = model.sample_sigma(rng, samples=100_000, degree=degree)
-    print(f"alpha bound for delta=0.1:               "
-          f"{alpha_lower_bound(sigma_fr, rounds, eta, excess):.4f}")
-    r_min = minimum_periods_for_beta(sigma, eta, 0.01)
-    print(f"grace period for beta<=1% (Tchebychev):  {r_min} periods")
-
-    # --- Monte-Carlo cross-validation -----------------------------------
-    sample = simulate_scores(
-        model, rng, n_honest=20_000, n_freeriders=5_000, degree=degree, rounds=rounds
-    )
-    print(f"MC at r={rounds}: alpha={sample.detection_fraction(eta):.3f}, "
-          f"beta={sample.false_positive_fraction(eta):.4f} "
-          "(bounds are loose, MC is exact)")
+    mc = m["monte_carlo"]
+    print(f"per-period blame stddev sigma(b):        {mc['sigma']:.2f} (MC)")
+    print(f"beta bound at eta={mc['eta']}, r={mc['rounds']}:       "
+          f"{mc['beta_bound']:.4f}")
+    print(f"alpha bound for delta={mc['delta']:g}:               "
+          f"{mc['alpha_bound']:.4f}")
+    print(f"grace period for beta<=1% (Tchebychev):  "
+          f"{mc['min_periods_beta_1pct']} periods")
+    print(f"MC at r={mc['rounds']}: alpha={mc['alpha']:.3f}, "
+          f"beta={mc['beta']:.4f} (bounds are loose, MC is exact)")
 
     # --- audit parameters ------------------------------------------------
-    n_h = 50
-    window = n_h * f
-    gamma = gamma_for_window(window)
-    print(f"\naudit window n_h*f = {window}; gamma = {gamma:.2f}")
-    for coalition in (10, 25, 50):
-        ceiling = max_bias_probability(gamma, coalition, window)
-        print(f"  coalition of {coalition:3d} can hide at most "
+    print(f"\naudit window n_h*f = {m['audit_window']}; gamma = {m['gamma']:.2f}")
+    for coalition, ceiling in m["coalition_ceilings"].items():
+        print(f"  coalition of {int(coalition):3d} can hide at most "
               f"{ceiling:.0%} bias")
-    needed = required_history_for_bias(25, f, max_tolerated_bias=0.15)
-    print(f"to cap a 25-node coalition at 15% bias, use n_h >= {needed}")
+    print(f"to cap a 25-node coalition at 15% bias, use n_h >= "
+          f"{m['history_for_15pct_bias']}")
 
     # --- message budget ---------------------------------------------------
-    counts = expected_message_counts(f, request_size, p_dcc=1.0, managers=25)
-    print(f"\nverification message budget per node-period (Table 3 model):")
-    print(f"  data path:       {counts.data_messages:.0f}")
-    print(f"  acks+confirms:   {counts.verification_messages:.0f} "
-          f"({counts.message_overhead_ratio:.0%} of data messages)")
-    print(f"  blame worst case: {counts.max_blame_messages:.0f}")
+    budget = m["message_budget"]
+    print("\nverification message budget per node-period (Table 3 model):")
+    print(f"  data path:       {budget['data']:.0f}")
+    print(f"  acks+confirms:   {budget['verification']:.0f}")
+    print(f"  blame worst case: {budget['max_blames']:.0f}")
     print("\nlower p_dcc when the system is healthy: at p_dcc=0.25 the "
-          f"confirm traffic drops to {expected_message_counts(f, request_size, 0.25, 25).confirms_sent:.0f}")
+          f"confirm traffic drops to {budget['confirms_at_quarter_p_dcc']:.0f}")
 
 
 if __name__ == "__main__":

@@ -1,65 +1,45 @@
 #!/usr/bin/env python3
 """Quickstart: detect freeriders in a gossip streaming deployment.
 
-Builds a 100-node simulated deployment of the three-phase gossip
-protocol (§3 of the paper) with LiFTinG attached, injects 10 %
-freeriders that skimp on every phase, runs 30 simulated seconds, and
-prints the resulting score separation and detection report.
+One call — the ``detect`` scenario calibrates the wrongful-blame
+compensation on an honest deployment (the designer step of §6.2),
+deploys 100 nodes with 10 % freeriders that skimp on every phase
+(§7.1's configuration), runs 30 simulated seconds, and reports the
+score separation, the detection report and the bandwidth overhead.
 
 Run with::
 
     python examples/quickstart.py
+
+Every scenario is declarative data against one engine: ``repro list``
+shows them all, ``repro describe detect`` the parameters used here,
+and ``repro run detect --json -`` the same run as a structured
+``RunResult`` envelope (see docs/SCENARIOS.md).
 """
 
-from dataclasses import replace
-
-import numpy as np
-
-from repro import ClusterConfig, FreeriderDegree, SimCluster, planetlab_params
-from repro.experiments.calibration import calibrate
+from repro import run_scenario
 
 
 def main() -> None:
-    # 1. Parameters: the paper's PlanetLab setting, scaled to 100 nodes.
-    gossip, lifting = planetlab_params()
-    gossip = replace(gossip, n=100, chunk_size=1400)
+    print("running the 'detect' scenario (calibration + deployment)...")
+    result = run_scenario("detect", n=100, seed=1, duration=30.0)
 
-    # 2. Calibrate the wrongful-blame compensation for this environment
-    #    (the designer step of §6.2: honest nodes must score ~0).
-    print("calibrating compensation on an honest deployment...")
-    calibration = calibrate(gossip, lifting, duration=10.0, loss_rate=0.04)
-    print(f"  compensation b~ = {calibration.compensation:.2f} blame/period")
-    eta = calibration.eta_for_false_positives(0.01)
-    print(f"  threshold eta (false positives <= 1%) = {eta:.2f}")
+    # The rich in-memory artifact: calibration, detection report,
+    # overhead report, expulsion lists.
+    detect = result.artifact
+    print(f"\n  compensation b~ = {detect.compensation:.2f} blame/period")
+    print(f"  threshold eta (false positives <= 1%) = {detect.eta:.2f}")
+    print(f"  honest:    mean score {detect.report.honest.mean:+6.2f}")
+    print(f"  freerider: mean score {detect.report.freeriders.mean:+6.2f}")
+    print(f"\n{detect.report.summary()}")
+    print(f"\nbandwidth overhead: {detect.overhead}")
 
-    # 3. Deploy with 10 % freeriders: contact 6 of 7 partners, propose
-    #    and serve only 90 % (the paper's §7.1 configuration).
-    config = ClusterConfig(
-        gossip=gossip,
-        lifting=lifting,
-        seed=1,
-        loss_rate=0.04,
-        freerider_fraction=0.10,
-        freerider_degree=FreeriderDegree(delta1=1 / 7, delta2=0.1, delta3=0.1),
-        compensation=calibration.compensation,
-    )
-    cluster = SimCluster(config)
-    print("\nrunning 30 simulated seconds...")
-    cluster.run(until=30.0)
-
-    # 4. Read the min-vote scores from the managers and apply the
-    #    threshold.
-    scores = cluster.scores()
-    honest = [s for n, s in scores.items() if n not in cluster.freerider_ids]
-    freeriders = [s for n, s in scores.items() if n in cluster.freerider_ids]
-    print(f"  honest:    mean score {np.mean(honest):+6.2f}  (n={len(honest)})")
-    print(f"  freerider: mean score {np.mean(freeriders):+6.2f}  (n={len(freeriders)})")
-
-    report = cluster.detection(eta=eta)
-    print(f"\n{report.summary()}")
-
-    # 5. Overhead of the verification machinery (Table 5's metric).
-    print(f"\nbandwidth overhead: {cluster.overhead()}")
+    # The same numbers as the uniform, serialisable envelope (what
+    # `repro run detect --json -` prints, and what benchmark baselines
+    # are stored as).
+    print("\nstructured metrics payload:")
+    for key, value in result.metrics.items():
+        print(f"  {key}: {value}")
 
 
 if __name__ == "__main__":

@@ -17,11 +17,12 @@ Run with::
 
 The three deployments are independent; ``--jobs 3`` runs them on three
 worker processes with bit-identical curves (``--jobs 0`` = all cores).
+Equivalent CLI: ``repro run fig1 --n 100 --duration 25 --jobs 3``.
 """
 
 import argparse
 
-from repro.experiments.fig1 import run_fig1
+from repro import run_scenario
 
 
 def main() -> None:
@@ -33,7 +34,7 @@ def main() -> None:
     args = parser.parse_args()
 
     print("running three deployments (this takes a minute or two)...")
-    result = run_fig1(n=100, duration=25.0, seed=7, jobs=args.jobs)
+    result = run_scenario("fig1", n=100, duration=25.0, seed=7, jobs=args.jobs).artifact
 
     print("\nfraction of nodes viewing a clear stream, by stream lag:")
     print("  lag(s)   baseline   freeriders   freeriders+LiFTinG")

@@ -8,6 +8,11 @@ warm cluster300 sim-second) and compares them against the ``current``
 baselines in ``benchmarks/BENCH_substrate.json``.  Exits non-zero if
 any kernel regressed by more than ``TOLERANCE`` (30 %).
 
+The baselines file is a serialised ``repro.scenarios.RunResult``
+envelope (the baselines live in its ``metrics``); reading and writing
+it exclusively through ``RunResult.load``/``dump`` keeps the benchmark
+and experiment schemas from drifting apart.
+
 On machines with >= 4 cores the ``jobs=4`` speedup of the six-cell
 grid is additionally checked against the ``parallel`` section's
 recorded target (>= 2.5x, the ISSUE 2 acceptance bar); on smaller
@@ -29,7 +34,6 @@ for CI smoke runs.  See docs/PERFORMANCE.md.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import pathlib
 import sys
@@ -37,7 +41,11 @@ import time
 
 import numpy as np
 
-BENCH_FILE = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_substrate.json"
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:  # runnable without PYTHONPATH=src
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+BENCH_FILE = _REPO_ROOT / "benchmarks" / "BENCH_substrate.json"
 TOLERANCE = 0.30
 #: the six-cell Table 5 grid of benchmarks/bench_parallel_experiments.py.
 GRID_KWARGS = dict(
@@ -48,6 +56,15 @@ GRID_KWARGS = dict(
     p_dcc_values=(0.0, 0.5, 1.0),
 )
 SPEEDUP_JOBS = 4
+
+
+def _as_mutable(value):
+    """Deep-copy the canonical (tuple-based) metrics into plain dicts/lists."""
+    if isinstance(value, dict):
+        return {key: _as_mutable(item) for key, item in value.items()}
+    if isinstance(value, tuple):
+        return [_as_mutable(item) for item in value]
+    return value
 
 
 def best_of(fn, reps):
@@ -227,7 +244,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     tolerance = args.tolerance
 
-    data = json.loads(BENCH_FILE.read_text())
+    from repro.scenarios import RunResult
+
+    envelope = RunResult.load(BENCH_FILE)
+    data = {key: _as_mutable(value) for key, value in envelope.metrics.items()}
     current = data["current"]
     failures = []
 
@@ -275,7 +295,7 @@ def main(argv=None) -> int:
             )
 
     if args.update:
-        BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+        envelope.with_metrics(data).dump(BENCH_FILE)
         print(f"updated {BENCH_FILE}")
         return 0
     if failures:

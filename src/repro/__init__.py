@@ -17,7 +17,13 @@ Monod & Prusty, *LiFTinG: Lightweight Freerider-Tracking in Gossip*
 * metrics and experiment runners regenerating every figure and table of
   the paper's evaluation (:mod:`repro.metrics`, :mod:`repro.experiments`);
 * an asyncio runtime that runs the very same protocol objects over real
-  UDP/TCP sockets (:mod:`repro.runtime`).
+  UDP/TCP sockets (:mod:`repro.runtime`);
+* the declarative scenario registry — every experiment is registered
+  against one engine and returns a uniform JSON-serialisable
+  :class:`RunResult` envelope (:mod:`repro.scenarios`)::
+
+      from repro import run_scenario
+      result = run_scenario("fig1", n=100, duration=25.0, jobs=3)
 
 Quickstart::
 
@@ -58,6 +64,14 @@ from repro.mc import BlameModel, simulate_scores
 from repro.membership import FullMembership, GossipPeerSampling
 from repro.metrics import detection_report, health_curve
 from repro.nodes import ColludingBehavior, FreeriderBehavior, HonestBehavior
+from repro.scenarios import (
+    Param,
+    RunResult,
+    ScenarioSpec,
+    list_scenarios,
+    run_scenario,
+    scenario,
+)
 from repro.sim import Network, Simulator
 
 __version__ = "1.0.0"
@@ -80,7 +94,10 @@ __all__ = [
     "LocalHistory",
     "ManagerAssignment",
     "Network",
+    "Param",
     "ReputationManager",
+    "RunResult",
+    "ScenarioSpec",
     "ScoreBoard",
     "SimCluster",
     "Simulator",
@@ -91,9 +108,12 @@ __all__ = [
     "expected_blame_freerider",
     "expected_blame_honest",
     "health_curve",
+    "list_scenarios",
     "max_bias_probability",
     "planetlab_params",
     "recommended_fanout",
+    "run_scenario",
+    "scenario",
     "simulate_scores",
     "__version__",
 ]

@@ -1,63 +1,317 @@
-"""Command-line interface: run deployments and experiments from a shell.
+"""Command-line interface: one generic entry point over the scenario registry.
 
 Installed as ``python -m repro.cli`` (or via the ``repro`` console
-script when packaged).  Subcommands:
+script when packaged).  Core subcommands:
 
-* ``detect`` — build a simulated deployment with freeriders, calibrate,
-  run, and print the detection report (the quickstart as a command).
-* ``health`` — the Figure 1 scenario: baseline vs freeriders vs
-  freeriders-under-LiFTinG health curves.
-* ``overhead`` — the Table 5 scenario: the bandwidth-overhead grid over
-  stream rates and cross-checking probabilities.
-* ``analyze`` — print the closed-form design constants for a parameter
-  set (b̃, detection bounds, entropy ceilings).
-* ``scale`` — the large-n scalability sweep: wall-clock seconds per
-  simulated second for a range of deployment sizes.
-* ``live`` — run the asyncio runtime over real loopback sockets.
+* ``repro list [--tag TAG]`` — every registered scenario.
+* ``repro describe <scenario>`` — description, tags and the declared
+  parameters (types, defaults, constraints).
+* ``repro run <scenario> [--<param> ...] [--set k=v ...]`` — run any
+  scenario.  **Flags are derived from the scenario's ``Param``
+  declarations**, so every scenario-backed command uniformly accepts
+  exactly the parameters it declares (``--seed``, ``--jobs``, ... —
+  nothing is hand-wired and nothing can silently go missing).
 
-Experiments that drive several independent deployments (``health``,
-``overhead``, ``scale``) accept ``--jobs N`` to fan them out over N
-worker processes (``--jobs 0`` = all cores); results are bit-identical
-to the serial run (for ``scale``, use ``--jobs 1`` when the timings are
-meant as baselines).  The simulation-driving subcommands accept
-``--profile PATH`` to dump sorted cProfile stats of the run — the
-starting point of every performance PR (see docs/PERFORMANCE.md).
+Every run-style command also accepts ``--json PATH`` (write the
+structured :class:`~repro.scenarios.RunResult` envelope; ``-`` =
+stdout) and ``--profile PATH`` (dump sorted cProfile stats of the run —
+the starting point of every performance PR, see docs/PERFORMANCE.md).
+
+The pre-registry subcommands remain as **aliases** that delegate to the
+registry with their historical defaults and flag spellings:
+
+* ``detect``   → ``run detect``   (quickstart detection report)
+* ``health``   → ``run fig1``     (Figure 1 health curves, n=100)
+* ``overhead`` → ``run table5``   (Table 5 bandwidth-overhead grid)
+* ``analyze``  → ``run analyze``  (closed-form design constants)
+* ``scale``    → ``run scaling``  (large-n scalability sweep)
+* ``live``     → ``run live``     (asyncio loopback deployment)
+
+Experiments that drive several independent deployments accept
+``--jobs N`` to fan them out over N worker processes (``--jobs 0`` =
+all cores) with bit-identical results; see docs/SCENARIOS.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import replace
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
 
-from repro.config import FreeriderDegree, planetlab_params
+from repro.scenarios import (
+    ParamError,
+    RunResult,
+    ScenarioSpec,
+    UnknownScenarioError,
+    get,
+    list_scenarios,
+    run_scenario,
+)
+
+# ----------------------------------------------------------------------
+# flag derivation from Param declarations
+# ----------------------------------------------------------------------
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--nodes", "-n", type=int, default=100, help="system size")
-    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
-    parser.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
-    parser.add_argument("--loss", type=float, default=0.04, help="datagram loss rate")
+@dataclass(frozen=True)
+class Alias:
+    """A legacy subcommand delegating to a registered scenario."""
+
+    scenario: str
+    help: str
+    #: historical defaults that differ from the scenario's own.
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    #: param name -> historical flag spelling (without ``--``).
+    renames: Mapping[str, str] = field(default_factory=dict)
+    #: flag spelling -> short option (e.g. ``{"nodes": "-n"}``).
+    shorts: Mapping[str, str] = field(default_factory=dict)
+    #: historical flags with no declared parameter behind them — still
+    #: accepted (scripts keep working) but ignored with a warning.
+    ignored_flags: Mapping[str, str] = field(default_factory=dict)
 
 
-def _add_jobs(parser: argparse.ArgumentParser) -> None:
+#: the pre-registry CLI surface, kept stable.
+ALIASES: Dict[str, Alias] = {
+    "detect": Alias(
+        scenario="detect",
+        help="run a deployment and detect freeriders",
+        renames={"n": "nodes"},
+        shorts={"nodes": "-n"},
+    ),
+    "health": Alias(
+        scenario="fig1",
+        help="Figure 1's three health curves",
+        defaults={"n": 100, "seed": 1},
+        renames={"n": "nodes", "freerider_fraction": "freeriders"},
+        shorts={"nodes": "-n", "jobs": "-j"},
+        # The pre-registry CLI accepted --loss here and silently ignored
+        # it (the fig1 runner never took a loss argument); keep scripts
+        # working, but say so out loud.
+        ignored_flags={"loss": "historically accepted but never used by fig1"},
+    ),
+    "overhead": Alias(
+        scenario="table5",
+        help="Table 5's bandwidth-overhead grid",
+        renames={"n": "nodes", "rates_kbps": "rates", "p_dcc_values": "p-dcc"},
+        shorts={"nodes": "-n", "jobs": "-j"},
+    ),
+    "analyze": Alias(
+        scenario="analyze",
+        help="closed-form design constants",
+        shorts={"fanout": "-f", "request-size": "-R"},
+    ),
+    "scale": Alias(
+        scenario="scaling",
+        help="large-n scalability sweep (s per sim-second vs n)",
+        shorts={"jobs": "-j"},
+    ),
+    "live": Alias(
+        scenario="live",
+        help="run over real loopback sockets (asyncio)",
+        shorts={"nodes": "-n"},
+        renames={"n": "nodes"},
+    ),
+}
+
+
+def _flag_spelling(name: str) -> str:
+    return name.replace("_", "-")
+
+
+def _add_scenario_flags(
+    parser: argparse.ArgumentParser,
+    spec: ScenarioSpec,
+    *,
+    defaults: Mapping[str, Any] = (),
+    renames: Mapping[str, str] = (),
+    shorts: Mapping[str, str] = (),
+) -> Dict[str, str]:
+    """Derive one flag per declared parameter; returns dest -> param name.
+
+    Flags default to ``argparse.SUPPRESS`` so that only explicitly
+    passed values become overrides — the scenario's own declarations
+    (or the alias's historical defaults) fill in the rest.
+    """
+    defaults = dict(defaults)
+    renames = dict(renames)
+    shorts = dict(shorts)
+    dest_to_param: Dict[str, str] = {}
+    for param in spec.params:
+        spelling = _flag_spelling(renames.get(param.name, param.name))
+        flags = [f"--{spelling}"]
+        if spelling in shorts:
+            flags.append(shorts[spelling])
+        default = defaults.get(param.name, param.default)
+        help_text = param.help or param.name
+        if param.constraint:
+            help_text += f" [{param.constraint}]"
+        help_text += f" (default: {default!r})"
+        kwargs: Dict[str, Any] = dict(default=argparse.SUPPRESS, help=help_text)
+        if param.type is bool:
+            kwargs["action"] = argparse.BooleanOptionalAction
+        elif param.sequence:
+            kwargs.update(nargs="+", type=param.type, metavar=param.type.__name__.upper())
+        else:
+            kwargs.update(type=param.type, metavar=param.type.__name__.upper())
+        action = parser.add_argument(*flags, **kwargs)
+        dest_to_param[action.dest] = param.name
+    return dest_to_param
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--jobs",
-        "-j",
-        type=int,
-        default=1,
-        help="worker processes for independent deployments (0 = all cores)",
+        "--set",
+        action="append",
+        default=[],
+        metavar="PARAM=VALUE",
+        dest="set_pairs",
+        help="override any declared parameter by name "
+        "(sequences comma-separated, e.g. --set sizes=100,300)",
     )
-
-
-def _add_profile(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        dest="json_path",
+        help="write the RunResult envelope as JSON ('-' = stdout)",
+    )
     parser.add_argument(
         "--profile",
         metavar="PATH",
         default=None,
         help="dump sorted cProfile stats of the run to PATH",
     )
+
+
+def _collect_overrides(
+    spec: ScenarioSpec,
+    args: argparse.Namespace,
+    dest_to_param: Mapping[str, str],
+) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    for dest, param_name in dest_to_param.items():
+        if hasattr(args, dest):
+            overrides[param_name] = getattr(args, dest)
+    for pair in getattr(args, "set_pairs", []):
+        if "=" not in pair:
+            raise ParamError(f"--set expects PARAM=VALUE, got {pair!r}")
+        key, _, value = pair.partition("=")
+        overrides[key.strip().replace("-", "_")] = value
+    return overrides
+
+
+def _execute(
+    spec: ScenarioSpec, overrides: Mapping[str, Any], args: argparse.Namespace
+) -> int:
+    profile_path = getattr(args, "profile", None)
+    if profile_path:
+        from repro.util.profiling import maybe_profile
+
+        with maybe_profile(profile_path):
+            result = run_scenario(spec.name, **overrides)
+    else:
+        result = run_scenario(spec.name, **overrides)
+
+    json_path = getattr(args, "json_path", None)
+    if json_path == "-":
+        print(result.to_json(indent=2))
+        return 0
+    if spec.render is not None:
+        print(spec.render(result))
+    else:
+        print(result.to_json(indent=2))
+    if json_path:
+        result.dump(json_path)
+        print(f"wrote {json_path}", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_run(argv: List[str]) -> int:
+    """``repro run <scenario> [--flags] [--set k=v]`` — fully generic."""
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: repro run <scenario> [--<param> VALUE ...] [--set k=v ...]")
+        print("       repro describe <scenario>   # parameter details\n")
+        print("registered scenarios:")
+        for spec in list_scenarios():
+            print(f"  {spec.name:12s} {spec.description}")
+        return 0
+    name = argv[0]
+    try:
+        spec = get(name)
+    except UnknownScenarioError as exc:
+        print(f"repro run: {exc}", file=sys.stderr)
+        return 2
+    parser = argparse.ArgumentParser(
+        prog=f"repro run {spec.name}", description=spec.description
+    )
+    dest_to_param = _add_scenario_flags(parser, spec)
+    _add_run_options(parser)
+    args = parser.parse_args(argv[1:])
+    try:
+        overrides = _collect_overrides(spec, args, dest_to_param)
+        return _execute(spec, overrides, args)
+    except ParamError as exc:
+        print(f"repro run {spec.name}: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = list_scenarios(tag=args.tag)
+    if not specs:
+        print(f"no scenarios tagged {args.tag!r}", file=sys.stderr)
+        return 1
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        tags = ",".join(spec.tags)
+        print(f"{spec.name:{width}s}  [{tags}]  {spec.description}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    try:
+        spec = get(args.scenario)
+    except UnknownScenarioError as exc:
+        print(f"repro describe: {exc}", file=sys.stderr)
+        return 2
+    print(f"{spec.name} — {spec.description}")
+    if spec.tags:
+        print(f"tags: {', '.join(spec.tags)}")
+    print("\nparameters:")
+    for param in spec.params:
+        print(f"  {param.describe()}")
+    if spec.smoke:
+        pairs = ", ".join(f"{k}={v!r}" for k, v in spec.smoke.items())
+        print(f"\nsmoke-size overrides: {pairs}")
+    example = " ".join(
+        f"--{_flag_spelling(p.name)} ..." for p in spec.params[:2]
+    )
+    print(f"\nrun it:  repro run {spec.name} {example}".rstrip())
+    print(f"         repro run {spec.name} --json - --set <param>=<value>")
+    return 0
+
+
+def _make_alias_handler(alias: Alias, dest_to_param: Mapping[str, str]):
+    def handler(args: argparse.Namespace) -> int:
+        spec = get(alias.scenario)
+        for spelling in alias.ignored_flags:
+            dest = spelling.replace("-", "_")
+            if hasattr(args, dest):
+                print(
+                    f"warning: --{spelling} is deprecated and ignored "
+                    f"({alias.ignored_flags[spelling]})",
+                    file=sys.stderr,
+                )
+        overrides = dict(alias.defaults)
+        overrides.update(_collect_overrides(spec, args, dest_to_param))
+        return _execute(spec, overrides, args)
+
+    return handler
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -67,219 +321,56 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    detect = sub.add_parser("detect", help="run a deployment and detect freeriders")
-    _add_common(detect)
-    detect.add_argument("--freeriders", type=float, default=0.10, help="freerider fraction")
-    detect.add_argument("--delta1", type=float, default=1 / 7)
-    detect.add_argument("--delta2", type=float, default=0.1)
-    detect.add_argument("--delta3", type=float, default=0.1)
-    detect.add_argument("--p-dcc", type=float, default=1.0, help="cross-check probability")
-    detect.add_argument("--expel", action="store_true", help="enforce expulsion")
-    _add_profile(detect)
-
-    health = sub.add_parser("health", help="Figure 1's three health curves")
-    _add_common(health)
-    _add_jobs(health)
-    _add_profile(health)
-    health.add_argument("--freeriders", type=float, default=0.25)
-
-    overhead = sub.add_parser("overhead", help="Table 5's bandwidth-overhead grid")
-    overhead.add_argument("--nodes", "-n", type=int, default=100, help="system size")
-    overhead.add_argument("--seed", type=int, default=31, help="experiment seed")
-    overhead.add_argument("--duration", type=float, default=10.0, help="simulated seconds")
-    _add_jobs(overhead)
-    _add_profile(overhead)
-    overhead.add_argument(
-        "--rates", type=float, nargs="+", default=[674.0, 1082.0, 2036.0],
-        help="stream rates (kbps)",
+    # Generic registry surface.  ``run`` is dispatched before argparse
+    # (its flags depend on the chosen scenario); the entry here only
+    # documents it in ``repro --help``.
+    sub.add_parser(
+        "run",
+        help="run any registered scenario: repro run <scenario> [--set k=v ...]",
+        add_help=False,
     )
-    overhead.add_argument(
-        "--p-dcc", type=float, nargs="+", default=[0.0, 0.5, 1.0],
-        help="cross-checking probabilities",
+    list_parser = sub.add_parser("list", help="list the registered scenarios")
+    list_parser.add_argument("--tag", default=None, help="filter by tag")
+    list_parser.set_defaults(handler=_cmd_list)
+    describe = sub.add_parser(
+        "describe", help="show a scenario's parameters and defaults"
     )
+    describe.add_argument("scenario", help="registered scenario name")
+    describe.set_defaults(handler=_cmd_describe)
 
-    analyze = sub.add_parser("analyze", help="closed-form design constants")
-    analyze.add_argument("--fanout", "-f", type=int, default=12)
-    analyze.add_argument("--request-size", "-R", type=int, default=4)
-    analyze.add_argument("--loss", type=float, default=0.07)
-    analyze.add_argument("--colluders", type=int, default=25)
-    analyze.add_argument("--history", type=int, default=50, help="n_h periods")
-
-    scale = sub.add_parser("scale", help="large-n scalability sweep (s per sim-second vs n)")
-    scale.add_argument(
-        "--sizes", type=int, nargs="+", default=[100, 300, 1000],
-        help="deployment sizes to measure",
-    )
-    scale.add_argument("--duration", type=float, default=3.0, help="timed simulated seconds per size")
-    scale.add_argument("--warmup", type=float, default=2.0, help="warm-up simulated seconds per size")
-    scale.add_argument("--seed", type=int, default=1, help="deployment seed")
-    _add_jobs(scale)
-    _add_profile(scale)
-
-    live = sub.add_parser("live", help="run over real loopback sockets (asyncio)")
-    live.add_argument("--nodes", "-n", type=int, default=12)
-    live.add_argument("--seed", type=int, default=1)
-    live.add_argument("--duration", type=float, default=5.0, help="real seconds")
-    live.add_argument("--freeriders", type=float, default=0.2)
+    # Legacy aliases, flags derived from the same Param declarations.
+    for command, alias in ALIASES.items():
+        spec = get(alias.scenario)
+        alias_parser = sub.add_parser(command, help=alias.help)
+        dest_to_param = _add_scenario_flags(
+            alias_parser,
+            spec,
+            defaults=alias.defaults,
+            renames=alias.renames,
+            shorts=alias.shorts,
+        )
+        for spelling, reason in alias.ignored_flags.items():
+            alias_parser.add_argument(
+                f"--{spelling}",
+                default=argparse.SUPPRESS,
+                help=f"deprecated, ignored ({reason})",
+            )
+        _add_run_options(alias_parser)
+        alias_parser.set_defaults(handler=_make_alias_handler(alias, dest_to_param))
     return parser
-
-
-def _cmd_detect(args: argparse.Namespace) -> int:
-    from repro.experiments.calibration import calibrate
-    from repro.experiments.cluster import ClusterConfig, SimCluster
-
-    gossip, lifting = planetlab_params()
-    gossip = replace(gossip, n=args.nodes, chunk_size=1400)
-    lifting = replace(lifting, p_dcc=args.p_dcc, assumed_loss_rate=args.loss)
-    print("calibrating...", file=sys.stderr)
-    cal = calibrate(gossip, lifting, seed=args.seed + 1, duration=10.0, loss_rate=args.loss)
-    eta = cal.eta_for_false_positives(0.01)
-    cluster = SimCluster(
-        ClusterConfig(
-            gossip=gossip,
-            lifting=lifting,
-            seed=args.seed,
-            loss_rate=args.loss,
-            freerider_fraction=args.freeriders,
-            freerider_degree=FreeriderDegree(args.delta1, args.delta2, args.delta3),
-            compensation=cal.compensation,
-            expulsion_enabled=args.expel,
-        )
-    )
-    cluster.run(until=args.duration)
-    print(f"compensation b~ = {cal.compensation:.2f}, eta = {eta:.2f}")
-    print(cluster.detection(eta=eta).summary())
-    print(cluster.overhead())
-    if args.expel:
-        expelled = cluster.controller.expelled_nodes()
-        wrongful = [n for n in expelled if n not in cluster.freerider_ids]
-        print(f"expelled: {len(expelled)} ({len(wrongful)} honest)")
-    return 0
-
-
-def _cmd_health(args: argparse.Namespace) -> int:
-    from repro.experiments.fig1 import run_fig1
-
-    result = run_fig1(
-        n=args.nodes,
-        duration=args.duration,
-        seed=args.seed,
-        freerider_fraction=args.freeriders,
-        jobs=args.jobs,
-    )
-    print("lag(s)  baseline  freeriders  freeriders+LiFTinG")
-    for lag, base, collapsed, protected in result.rows():
-        print(f"{lag:5.0f}   {base:7.2f}   {collapsed:9.2f}   {protected:12.2f}")
-    return 0
-
-
-def _cmd_overhead(args: argparse.Namespace) -> int:
-    from repro.experiments.table5 import run_table5
-
-    result = run_table5(
-        n=args.nodes,
-        duration=args.duration,
-        seed=args.seed,
-        rates_kbps=tuple(args.rates),
-        p_dcc_values=tuple(args.p_dcc),
-        jobs=args.jobs,
-    )
-    print("rate(kbps)  p_dcc  measured   paper")
-    for rate, p_dcc, measured, paper in result.rows():
-        print(f"{rate:9.0f}   {p_dcc:4.1f}   {measured:6.2f}%   {paper:5.2f}%")
-    return 0
-
-
-def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.analysis.entropy_analysis import (
-        achievable_max_bias,
-        gamma_for_window,
-        max_bias_probability,
-    )
-    from repro.analysis.freerider_blames import expected_blame_excess
-    from repro.analysis.overhead import expected_message_counts
-    from repro.analysis.wrongful_blames import expected_blame_honest
-
-    p_r = 1.0 - args.loss
-    f, big_r = args.fanout, args.request_size
-    print(f"f={f}, |R|={big_r}, loss={args.loss:.0%}")
-    print(f"compensation b~ (Eq. 5):       {expected_blame_honest(f, big_r, p_r):.2f}")
-    for delta in (0.035, 0.05, 0.1):
-        degree = FreeriderDegree.uniform(delta)
-        print(
-            f"blame excess at delta={delta:5.3f}: "
-            f"{expected_blame_excess(degree, f, big_r, p_r):6.2f} "
-            f"(gain {degree.bandwidth_gain:.0%})"
-        )
-    window = args.history * f
-    gamma = gamma_for_window(window)
-    print(f"audit window {window} entries -> gamma = {gamma:.2f}")
-    print(
-        f"collusion ceiling for m'={args.colluders}: "
-        f"Eq.7 {max_bias_probability(gamma, args.colluders, window):.2f}, "
-        f"achievable {achievable_max_bias(gamma, args.colluders, window):.2f}"
-    )
-    counts = expected_message_counts(f, big_r, 1.0, 25)
-    print(
-        f"message budget/node/period: data {counts.data_messages:.0f}, "
-        f"verification {counts.verification_messages:.0f}"
-    )
-    return 0
-
-
-def _cmd_scale(args: argparse.Namespace) -> int:
-    from repro.experiments.scaling import run_scaling
-
-    result = run_scaling(
-        sizes=args.sizes,
-        duration=args.duration,
-        warmup=args.warmup,
-        seed=args.seed,
-        jobs=args.jobs,
-    )
-    print("     n  s/sim-s   events/s")
-    for n, sps, eps in result.rows():
-        print(f"{n:6d}  {sps:7.3f}  {eps:9,.0f}")
-    return 0
-
-
-def _cmd_live(args: argparse.Namespace) -> int:
-    import asyncio
-
-    from repro.runtime import RuntimeCluster, RuntimeConfig
-
-    config = RuntimeConfig(
-        n=args.nodes,
-        duration=args.duration,
-        seed=args.seed,
-        freerider_fraction=args.freeriders,
-        freerider_degree=FreeriderDegree(0.25, 0.3, 0.3),
-    )
-    report = asyncio.run(RuntimeCluster(config).run())
-    print(f"chunks: {report.chunks_emitted}, delivery {report.delivery_ratio:.1%}")
-    print(report.detection.summary())
-    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "run":
+        return _cmd_run(argv[1:])
     args = _build_parser().parse_args(argv)
-    handlers = {
-        "detect": _cmd_detect,
-        "health": _cmd_health,
-        "overhead": _cmd_overhead,
-        "analyze": _cmd_analyze,
-        "scale": _cmd_scale,
-        "live": _cmd_live,
-    }
-    handler = handlers[args.command]
-    profile_path = getattr(args, "profile", None)
-    if profile_path:
-        from repro.util.profiling import maybe_profile
-
-        with maybe_profile(profile_path):
-            return handler(args)
-    return handler(args)
+    try:
+        return args.handler(args)
+    except ParamError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

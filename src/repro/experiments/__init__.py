@@ -8,6 +8,7 @@ series the paper plots.  The benchmark harness under ``benchmarks/``
 prints those series next to the paper's reference values.
 """
 
+from repro.experiments.calibration import CalibrationResult, calibrate, run_calibration
 from repro.experiments.cluster import ClusterConfig, SimCluster
 from repro.experiments.fig1 import Fig1Result, run_fig1
 from repro.experiments.fig10 import Fig10Result, run_fig10
@@ -15,10 +16,12 @@ from repro.experiments.fig11 import Fig11Result, run_fig11
 from repro.experiments.fig12 import Fig12Result, run_fig12
 from repro.experiments.fig13 import Fig13Result, run_fig13
 from repro.experiments.fig14 import Fig14Result, run_fig14
+from repro.experiments.scaling import ScalingResult, run_scaling
 from repro.experiments.table3 import Table3Result, run_table3
 from repro.experiments.table5 import Table5Result, run_table5
 
 __all__ = [
+    "CalibrationResult",
     "ClusterConfig",
     "Fig1Result",
     "Fig10Result",
@@ -26,15 +29,19 @@ __all__ = [
     "Fig12Result",
     "Fig13Result",
     "Fig14Result",
+    "ScalingResult",
     "SimCluster",
     "Table3Result",
     "Table5Result",
+    "calibrate",
+    "run_calibration",
     "run_fig1",
     "run_fig10",
     "run_fig11",
     "run_fig12",
     "run_fig13",
     "run_fig14",
+    "run_scaling",
     "run_table3",
     "run_table5",
 ]

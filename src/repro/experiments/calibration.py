@@ -27,9 +27,10 @@ from typing import Optional
 
 import numpy as np
 
-from repro.config import GossipParams, LiftingParams
+from repro.config import GossipParams, LiftingParams, planetlab_params
 from repro.experiments.cluster import ClusterConfig
 from repro.runtime.parallel import Job, run_jobs
+from repro.scenarios import Param, RunResult, run_scenario, scenario
 from repro.util.validation import require
 
 
@@ -123,6 +124,93 @@ def calibration_job(
         ),
         key=key,
     )
+
+
+_CALIBRATION_PARAMS = (
+    Param("n", int, 120, "calibration deployment size",
+          validate=lambda v: v >= 8, constraint=">= 8"),
+    Param("duration", float, 15.0, "simulated seconds",
+          validate=lambda v: v > 0, constraint="> 0"),
+    Param("seed", int, 1234, "deployment seed"),
+    Param("loss", float, 0.04, "datagram loss rate of the environment",
+          validate=lambda v: 0.0 <= v < 1.0, constraint="in [0, 1)"),
+    Param("p_dcc", float, 1.0, "cross-checking probability",
+          validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+    Param("degraded_fraction", float, 0.0, "fraction of poorly connected nodes",
+          validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+    Param("degraded_loss", float, 0.12, "extra endpoint loss of degraded nodes"),
+    Param("degraded_upload", float, 0.0,
+          "upload cap of degraded nodes in bytes/s (0 = uncapped)"),
+    Param("jobs", int, 1, "worker processes (a single job; kept for uniformity)"),
+)
+
+
+def _calibration_reduce(results, params) -> CalibrationResult:
+    [result] = results
+    return result.get("calibration")
+
+
+def _calibration_metrics(result: CalibrationResult, params) -> dict:
+    return {
+        "compensation": result.compensation,
+        "score_stddev": result.score_stddev,
+        "periods": result.periods,
+        "n": result.n,
+        "eta_false_positives_1pct": result.eta_for_false_positives(0.01),
+    }
+
+
+def _calibration_render(run: RunResult) -> str:
+    result: CalibrationResult = run.artifact
+    return (
+        f"compensation b~ = {result.compensation:.2f} blame/period over "
+        f"{result.periods:.0f} periods (n={result.n})\n"
+        f"score stddev = {result.score_stddev:.2f}; eta for beta<=1% = "
+        f"{result.eta_for_false_positives(0.01):.2f}"
+    )
+
+
+@scenario(
+    "calibration",
+    "Empirical compensation/threshold calibration on an honest deployment",
+    params=_CALIBRATION_PARAMS,
+    reduce=_calibration_reduce,
+    summarize=_calibration_metrics,
+    render=_calibration_render,
+    tags=("calibration", "deployment"),
+    smoke={"n": 24, "duration": 4.0},
+)
+def _calibration_scenario(params):
+    """One honest-only deployment job in the PlanetLab environment.
+
+    For calibration in a *custom* environment (arbitrary
+    ``GossipParams``/``LiftingParams`` objects), use :func:`calibrate`
+    directly — parameter objects are not JSON-declarable.
+    """
+    gossip, lifting = planetlab_params()
+    lifting = replace(lifting, p_dcc=params["p_dcc"])
+    return [
+        calibration_job(
+            gossip,
+            lifting,
+            seed=params["seed"],
+            duration=params["duration"],
+            n=params["n"],
+            loss_rate=params["loss"],
+            degraded_fraction=params["degraded_fraction"],
+            degraded_loss=params["degraded_loss"],
+            degraded_upload=params["degraded_upload"] or None,
+        )
+    ]
+
+
+def run_calibration(**overrides) -> CalibrationResult:
+    """Run the calibration scenario and return its rich result.
+
+    Thin wrapper over ``run_scenario("calibration", ...)``; accepts the
+    scenario's declared parameters as keywords.
+    """
+    return run_scenario("calibration", **overrides).artifact
 
 
 def calibrate(

@@ -27,7 +27,8 @@ import numpy as np
 from repro.config import FreeriderDegree, GossipParams, LiftingParams, planetlab_params
 from repro.experiments.cluster import ClusterConfig
 from repro.metrics.health import HealthReport
-from repro.runtime.parallel import Job, run_jobs
+from repro.runtime.parallel import Job
+from repro.scenarios import Param, RunResult, run_scenario, scenario
 
 #: what "as much as possible" means when nothing watches: serve/propose
 #: barely anything while still requesting everything.
@@ -121,6 +122,98 @@ def _extract_expelled_count(cluster) -> int:
     return len(cluster.controller.expelled_nodes())
 
 
+#: the paper's x-axis: stream lags 0..30 s in 1 s steps.
+DEFAULT_LAGS = tuple(float(lag) for lag in np.arange(0.0, 31.0, 1.0))
+
+_FIG1_PARAMS = (
+    Param("n", int, 150, "system size", validate=lambda v: v >= 8, constraint=">= 8"),
+    Param("duration", float, 30.0, "simulated seconds", validate=lambda v: v > 0,
+          constraint="> 0"),
+    Param("seed", int, 7, "experiment seed"),
+    Param("freerider_fraction", float, 0.25, "fraction of freerider nodes",
+          validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+    Param("stream_rate_kbps", float, 674.0, "source bitrate (kbps)"),
+    Param("heavy_deltas", float, HEAVY_FREERIDING.as_tuple(), sequence=True,
+          help="(δ1, δ2, δ3) of the unwatched freeriders",
+          validate=lambda v: len(v) == 3, constraint="exactly 3 values"),
+    Param("wise_deltas", float, WISE_FREERIDING.as_tuple(), sequence=True,
+          help="(δ1, δ2, δ3) of the freeriders under LiFTinG",
+          validate=lambda v: len(v) == 3, constraint="exactly 3 values"),
+    Param("lags", float, DEFAULT_LAGS, sequence=True, help="stream lags to sample (s)"),
+    Param("coverage", float, 0.97, "chunk coverage needed for a clear stream",
+          validate=lambda v: 0.0 < v <= 1.0, constraint="in (0, 1]"),
+    Param("jobs", int, 1, "worker processes for the three deployments (0 = all cores)"),
+)
+
+
+def _fig1_reduce(results, params) -> Fig1Result:
+    by_name = {result.key: result for result in results}
+    return Fig1Result(
+        lags=np.asarray(params["lags"], dtype=float),
+        baseline=by_name["baseline"].get("health"),
+        freeriders_no_lifting=by_name["freeriders_no_lifting"].get("health"),
+        freeriders_with_lifting=by_name["freeriders_with_lifting"].get("health"),
+        expelled_with_lifting=by_name["freeriders_with_lifting"].get("expelled"),
+        duration=params["duration"],
+    )
+
+
+def _fig1_metrics(result: Fig1Result, params) -> dict:
+    return {
+        "lags_s": result.lags,
+        "baseline": result.baseline.fractions,
+        "freeriders_no_lifting": result.freeriders_no_lifting.fractions,
+        "freeriders_with_lifting": result.freeriders_with_lifting.fractions,
+        "expelled_with_lifting": result.expelled_with_lifting,
+    }
+
+
+def _fig1_render(run: RunResult) -> str:
+    lines = ["lag(s)  baseline  freeriders  freeriders+LiFTinG"]
+    for lag, base, collapsed, protected in run.artifact.rows():
+        lines.append(f"{lag:5.0f}   {base:7.2f}   {collapsed:9.2f}   {protected:12.2f}")
+    lines.append(f"expelled under LiFTinG: {run.artifact.expelled_with_lifting}")
+    return "\n".join(lines)
+
+
+@scenario(
+    "fig1",
+    "Figure 1 — system health: baseline vs freeriders vs freeriders under LiFTinG",
+    params=_FIG1_PARAMS,
+    reduce=_fig1_reduce,
+    summarize=_fig1_metrics,
+    render=_fig1_render,
+    tags=("figure", "deployment"),
+    smoke={"n": 24, "duration": 4.0, "lags": (0.0, 2.0, 4.0)},
+)
+def _fig1_scenario(params):
+    """Three independent deployment jobs differing only in adversaries."""
+    window = (3.0, max(6.0, params["duration"] - 8.0))
+    configs = fig1_configs(
+        n=params["n"],
+        seed=params["seed"],
+        freerider_fraction=params["freerider_fraction"],
+        stream_rate_kbps=params["stream_rate_kbps"],
+        heavy_degree=FreeriderDegree(*params["heavy_deltas"]),
+        wise_degree=FreeriderDegree(*params["wise_deltas"]),
+    )
+    health = partial(
+        _extract_health,
+        lags=tuple(float(lag) for lag in params["lags"]),
+        coverage=params["coverage"],
+        window=window,
+    )
+    return [
+        Job(
+            config=config,
+            until=params["duration"],
+            extractors=(("health", health), ("expelled", _extract_expelled_count)),
+            key=name,
+        )
+        for name, config in configs.items()
+    ]
+
+
 def run_fig1(
     *,
     n: int = 150,
@@ -136,43 +229,23 @@ def run_fig1(
 ) -> Fig1Result:
     """Run the three deployments and collect their health curves.
 
-    Defaults are scaled down from the paper's 300 nodes / 60 s for
-    tractability on one machine; pass ``n=300, duration=60`` for the
-    full setting.  The three deployments are independent; ``jobs``
-    fans them out to a process pool (bit-identical to ``jobs=1``).
+    Thin backward-compatible wrapper over ``run_scenario("fig1", ...)``
+    — bit-identical to the pre-registry runner.  Defaults are scaled
+    down from the paper's 300 nodes / 60 s for tractability on one
+    machine; pass ``n=300, duration=60`` for the full setting.  The
+    three deployments are independent; ``jobs`` fans them out to a
+    process pool (bit-identical to ``jobs=1``).
     """
-    if lags is None:
-        lags = np.arange(0.0, 31.0, 1.0)
-    window = (3.0, max(6.0, duration - 8.0))
-    configs = fig1_configs(
+    return run_scenario(
+        "fig1",
         n=n,
+        duration=duration,
         seed=seed,
         freerider_fraction=freerider_fraction,
         stream_rate_kbps=stream_rate_kbps,
-        heavy_degree=heavy_degree,
-        wise_degree=wise_degree,
-    )
-    health = partial(
-        _extract_health,
-        lags=tuple(float(lag) for lag in lags),
+        heavy_deltas=heavy_degree.as_tuple(),
+        wise_deltas=wise_degree.as_tuple(),
+        lags=None if lags is None else tuple(float(lag) for lag in lags),
         coverage=coverage,
-        window=window,
-    )
-    job_list = [
-        Job(
-            config=config,
-            until=duration,
-            extractors=(("health", health), ("expelled", _extract_expelled_count)),
-            key=name,
-        )
-        for name, config in configs.items()
-    ]
-    by_name = {result.key: result for result in run_jobs(job_list, jobs=jobs)}
-    return Fig1Result(
-        lags=np.asarray(lags, dtype=float),
-        baseline=by_name["baseline"].get("health"),
-        freeriders_no_lifting=by_name["freeriders_no_lifting"].get("health"),
-        freeriders_with_lifting=by_name["freeriders_with_lifting"].get("health"),
-        expelled_with_lifting=by_name["freeriders_with_lifting"].get("expelled"),
-        duration=duration,
-    )
+        jobs=jobs,
+    ).artifact

@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.config import analysis_params
 from repro.mc.blame_model import BlameModel, simulate_scores
+from repro.runtime.parallel import Task
+from repro.scenarios import Param, run_scenario, scenario
 from repro.util.rng import make_generator
 from repro.util.stats import histogram_density
 
@@ -34,8 +36,8 @@ class Fig10Result:
         return histogram_density(self.scores, bins=bins, value_range=(-250.0, 50.0))
 
 
-def run_fig10(*, n: int = 10_000, seed: int = 11) -> Fig10Result:
-    """Sample the one-period compensated score distribution."""
+def _compute_fig10(n: int, seed: int) -> Fig10Result:
+    """Sample the one-period compensated score distribution (worker body)."""
     gossip, lifting = analysis_params()
     model = BlameModel(
         fanout=gossip.fanout,
@@ -52,3 +54,38 @@ def run_fig10(*, n: int = 10_000, seed: int = 11) -> Fig10Result:
         mean=float(np.mean(scores)),
         stddev=float(np.std(scores, ddof=1)),
     )
+
+
+def _fig10_metrics(result: Fig10Result, params) -> dict:
+    centers, fractions = result.pdf()
+    return {
+        "compensation": result.compensation,
+        "mean": result.mean,
+        "stddev": result.stddev,
+        "samples": int(result.scores.size),
+        "pdf": {"centers": centers, "fractions": fractions},
+    }
+
+
+@scenario(
+    "fig10",
+    "Figure 10 — one-period compensated honest-score distribution under losses",
+    params=(
+        Param("n", int, 10_000, "honest nodes sampled",
+              validate=lambda v: v >= 2, constraint=">= 2"),
+        Param("seed", int, 11, "Monte-Carlo seed"),
+    ),
+    summarize=_fig10_metrics,
+    tags=("figure", "monte-carlo"),
+    smoke={"n": 2_000},
+)
+def _fig10_scenario(params):
+    return [Task(fn=_compute_fig10, args=(params["n"], params["seed"]), key="fig10")]
+
+
+def run_fig10(*, n: int = 10_000, seed: int = 11) -> Fig10Result:
+    """Sample the one-period compensated score distribution.
+
+    Thin backward-compatible wrapper over ``run_scenario("fig10", ...)``.
+    """
+    return run_scenario("fig10", n=n, seed=seed).artifact

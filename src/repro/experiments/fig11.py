@@ -17,7 +17,8 @@ import numpy as np
 from repro.config import FreeriderDegree, analysis_params
 from repro.mc.blame_model import BlameModel, ScoreSample, simulate_scores
 from repro.metrics.scores import DetectionReport
-from repro.runtime.parallel import Task, run_tasks
+from repro.runtime.parallel import Task
+from repro.scenarios import Param, run_scenario, scenario
 from repro.util.rng import make_generator
 from repro.util.stats import EmpiricalDistribution
 
@@ -93,6 +94,84 @@ def _fig11_shard(
     )
 
 
+_FIG11_PARAMS = (
+    Param("n", int, 10_000, "total population",
+          validate=lambda v: v >= 2, constraint=">= 2"),
+    Param("freeriders", int, 1_000, "freeriders within the population",
+          validate=lambda v: v >= 0, constraint=">= 0"),
+    Param("rounds", int, 50, "gossip periods accumulated",
+          validate=lambda v: v >= 1, constraint=">= 1"),
+    Param("delta", float, 0.1, "uniform degree of freeriding δ",
+          validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+    Param("seed", int, 13, "Monte-Carlo seed"),
+    Param("jobs", int, 1, "worker processes for the shards (0 = all cores)"),
+    Param("shards", int, 8, "fixed sub-populations (determines RNG streams)",
+          validate=lambda v: v >= 1, constraint=">= 1"),
+)
+
+
+def _fig11_reduce(samples, params) -> Fig11Result:
+    gossip, lifting = analysis_params()
+    model = BlameModel(
+        fanout=gossip.fanout,
+        request_size=gossip.request_size,
+        p_reception=lifting.p_reception,
+        p_dcc=lifting.p_dcc,
+    )
+    sample = ScoreSample(
+        honest=np.concatenate([s.honest for s in samples]),
+        freeriders=np.concatenate([s.freeriders for s in samples]),
+        rounds=params["rounds"],
+        compensation=model.compensation,
+    )
+    return Fig11Result(sample=sample, eta=lifting.eta)
+
+
+def _fig11_metrics(result: Fig11Result, params) -> dict:
+    return {
+        "eta": result.eta,
+        "detection": result.detection,
+        "false_positives": result.false_positives,
+        "gap": result.gap,
+        "honest_samples": int(result.sample.honest.size),
+        "freerider_samples": int(result.sample.freeriders.size),
+    }
+
+
+@scenario(
+    "fig11",
+    "Figure 11 — honest vs freerider score distributions after r periods",
+    params=_FIG11_PARAMS,
+    reduce=_fig11_reduce,
+    summarize=_fig11_metrics,
+    tags=("figure", "monte-carlo"),
+    smoke={"n": 800, "freeriders": 80, "rounds": 10},
+)
+def _fig11_scenario(params):
+    """One Monte-Carlo task per fixed population shard."""
+    gossip, lifting = analysis_params()
+    model = BlameModel(
+        fanout=gossip.fanout,
+        request_size=gossip.request_size,
+        p_reception=lifting.p_reception,
+        p_dcc=lifting.p_dcc,
+    )
+    degree = FreeriderDegree.uniform(params["delta"])
+    n, freeriders = params["n"], params["freeriders"]
+    shards = max(1, params["shards"])
+    return [
+        Task(
+            fn=_fig11_shard,
+            args=(model, params["seed"], shard, shard_honest, shard_freeriders,
+                  degree, params["rounds"]),
+            key=shard,
+        )
+        for shard, (shard_honest, shard_freeriders) in enumerate(
+            zip(_split_evenly(n - freeriders, shards), _split_evenly(freeriders, shards))
+        )
+    ]
+
+
 def run_fig11(
     *,
     n: int = 10_000,
@@ -105,36 +184,20 @@ def run_fig11(
 ) -> Fig11Result:
     """Simulate the two-population score distribution.
 
+    Thin backward-compatible wrapper over ``run_scenario("fig11", ...)``.
     The populations are split into ``shards`` fixed sub-populations,
     each with its own seed-derived RNG stream, so the Monte-Carlo work
     fans out over ``jobs`` processes.  The shard count — not the worker
     count — determines the streams, so results depend only on
     ``(seed, shards)`` and are bit-identical for every ``jobs`` value.
     """
-    gossip, lifting = analysis_params()
-    model = BlameModel(
-        fanout=gossip.fanout,
-        request_size=gossip.request_size,
-        p_reception=lifting.p_reception,
-        p_dcc=lifting.p_dcc,
-    )
-    degree = FreeriderDegree.uniform(delta)
-    shards = max(1, int(shards))
-    tasks = [
-        Task(
-            fn=_fig11_shard,
-            args=(model, seed, shard, shard_honest, shard_freeriders, degree, rounds),
-            key=shard,
-        )
-        for shard, (shard_honest, shard_freeriders) in enumerate(
-            zip(_split_evenly(n - freeriders, shards), _split_evenly(freeriders, shards))
-        )
-    ]
-    samples = run_tasks(tasks, jobs=jobs)
-    sample = ScoreSample(
-        honest=np.concatenate([s.honest for s in samples]),
-        freeriders=np.concatenate([s.freeriders for s in samples]),
+    return run_scenario(
+        "fig11",
+        n=n,
+        freeriders=freeriders,
         rounds=rounds,
-        compensation=model.compensation,
-    )
-    return Fig11Result(sample=sample, eta=lifting.eta)
+        delta=delta,
+        seed=seed,
+        jobs=jobs,
+        shards=shards,
+    ).artifact

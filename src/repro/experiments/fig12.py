@@ -20,7 +20,8 @@ import numpy as np
 
 from repro.config import FreeriderDegree, analysis_params
 from repro.mc.blame_model import BlameModel, simulate_scores
-from repro.runtime.parallel import Task, run_tasks
+from repro.runtime.parallel import Task
+from repro.scenarios import Param, run_scenario, scenario
 from repro.util.rng import make_generator
 
 
@@ -81,6 +82,87 @@ def _fig12_point(
     )
 
 
+#: the paper's δ sweep: fine steps through the wise region, coarser above.
+DEFAULT_DELTAS = tuple(
+    float(delta)
+    for delta in np.concatenate(
+        [np.arange(0.0, 0.06, 0.005), np.arange(0.06, 0.21, 0.01)]
+    )
+)
+
+_FIG12_PARAMS = (
+    Param("deltas", float, DEFAULT_DELTAS, sequence=True,
+          help="degrees of freeriding δ to sweep"),
+    Param("rounds", int, 50, "gossip periods accumulated",
+          validate=lambda v: v >= 1, constraint=">= 1"),
+    Param("samples_per_point", int, 3_000, "Monte-Carlo samples per population",
+          validate=lambda v: v >= 1, constraint=">= 1"),
+    Param("seed", int, 17, "Monte-Carlo seed"),
+    Param("jobs", int, 1, "worker processes for the sweep points (0 = all cores)"),
+)
+
+
+def _fig12_reduce(points, params) -> Fig12Result:
+    _gossip, lifting = analysis_params()
+    if points:
+        alphas, betas, gains = (np.asarray(series) for series in zip(*points))
+    else:
+        alphas = betas = gains = np.empty(0)
+    return Fig12Result(
+        deltas=np.asarray(params["deltas"], dtype=float),
+        detection=alphas,
+        false_positives=betas,
+        gain=gains,
+        eta=lifting.eta,
+    )
+
+
+def _fig12_metrics(result: Fig12Result, params) -> dict:
+    return {
+        "eta": result.eta,
+        "deltas": result.deltas,
+        "detection": result.detection,
+        "false_positives": result.false_positives,
+        "gain": result.gain,
+    }
+
+
+@scenario(
+    "fig12",
+    "Figure 12 — detection probability and bandwidth gain vs the degree δ",
+    params=_FIG12_PARAMS,
+    reduce=_fig12_reduce,
+    summarize=_fig12_metrics,
+    tags=("figure", "monte-carlo", "sweep"),
+    smoke={"deltas": (0.0, 0.05, 0.1), "rounds": 10, "samples_per_point": 500},
+)
+def _fig12_scenario(params):
+    """One independent Monte-Carlo task per sweep point."""
+    gossip, lifting = analysis_params()
+    model = BlameModel(
+        fanout=gossip.fanout,
+        request_size=gossip.request_size,
+        p_reception=lifting.p_reception,
+        p_dcc=lifting.p_dcc,
+    )
+    return [
+        Task(
+            fn=_fig12_point,
+            args=(
+                model,
+                params["seed"],
+                index,
+                float(delta),
+                lifting.eta,
+                params["rounds"],
+                params["samples_per_point"],
+            ),
+            key=float(delta),
+        )
+        for index, delta in enumerate(params["deltas"])
+    ]
+
+
 def run_fig12(
     *,
     deltas: Sequence[float] = None,
@@ -91,44 +173,16 @@ def run_fig12(
 ) -> Fig12Result:
     """Run the δ sweep with the analysis parameters.
 
+    Thin backward-compatible wrapper over ``run_scenario("fig12", ...)``.
     Each sweep point is an independent Monte-Carlo task with a
     seed-derived per-point RNG stream, so ``jobs`` fans the sweep out
     over processes with bit-identical series for every ``jobs`` value.
     """
-    gossip, lifting = analysis_params()
-    model = BlameModel(
-        fanout=gossip.fanout,
-        request_size=gossip.request_size,
-        p_reception=lifting.p_reception,
-        p_dcc=lifting.p_dcc,
-    )
-    if deltas is None:
-        deltas = np.concatenate([np.arange(0.0, 0.06, 0.005), np.arange(0.06, 0.21, 0.01)])
-    tasks = [
-        Task(
-            fn=_fig12_point,
-            args=(
-                model,
-                seed,
-                index,
-                float(delta),
-                lifting.eta,
-                rounds,
-                samples_per_point,
-            ),
-            key=float(delta),
-        )
-        for index, delta in enumerate(deltas)
-    ]
-    points = run_tasks(tasks, jobs=jobs)
-    if points:
-        alphas, betas, gains = (np.asarray(series) for series in zip(*points))
-    else:
-        alphas = betas = gains = np.empty(0)
-    return Fig12Result(
-        deltas=np.asarray(deltas, dtype=float),
-        detection=alphas,
-        false_positives=betas,
-        gain=gains,
-        eta=lifting.eta,
-    )
+    return run_scenario(
+        "fig12",
+        deltas=None if deltas is None else tuple(float(d) for d in deltas),
+        rounds=rounds,
+        samples_per_point=samples_per_point,
+        seed=seed,
+        jobs=jobs,
+    ).artifact

@@ -20,6 +20,8 @@ import numpy as np
 from repro.analysis.entropy_analysis import max_fanout_entropy
 from repro.config import analysis_params
 from repro.mc.entropy import sample_fanin_entropies, sample_fanout_entropies
+from repro.runtime.parallel import Task
+from repro.scenarios import Param, run_scenario, scenario
 from repro.util.rng import make_generator
 from repro.util.stats import histogram_density
 
@@ -63,8 +65,8 @@ class Fig13Result:
         return histogram_density(self.fanin_entropies, bins=bins, value_range=(8.8, 9.4))
 
 
-def run_fig13(*, n: int = 10_000, seed: int = 19) -> Fig13Result:
-    """Sample both entropy distributions at the analysis parameters."""
+def _compute_fig13(n: int, seed: int) -> Fig13Result:
+    """Sample both entropy distributions (worker body)."""
     gossip, lifting = analysis_params()
     history_picks = lifting.history_periods * gossip.fanout
     rng = make_generator(seed, "fig13")
@@ -77,3 +79,40 @@ def run_fig13(*, n: int = 10_000, seed: int = 19) -> Fig13Result:
         gamma=lifting.gamma,
         max_entropy=max_fanout_entropy(lifting.history_periods, gossip.fanout),
     )
+
+
+def _fig13_metrics(result: Fig13Result, params) -> dict:
+    fanout_lo, fanout_hi = result.fanout_range
+    fanin_lo, fanin_hi = result.fanin_range
+    return {
+        "gamma": result.gamma,
+        "max_entropy": result.max_entropy,
+        "fanout_range": (fanout_lo, fanout_hi),
+        "fanin_range": (fanin_lo, fanin_hi),
+        "fanout_false_expulsions": result.fanout_false_expulsions,
+        "fanin_false_expulsions": result.fanin_false_expulsions,
+    }
+
+
+@scenario(
+    "fig13",
+    "Figure 13 — fanout/fanin history entropies vs the audit threshold γ",
+    params=(
+        Param("n", int, 10_000, "histories sampled",
+              validate=lambda v: v >= 2, constraint=">= 2"),
+        Param("seed", int, 19, "Monte-Carlo seed"),
+    ),
+    summarize=_fig13_metrics,
+    tags=("figure", "monte-carlo"),
+    smoke={"n": 1_500},
+)
+def _fig13_scenario(params):
+    return [Task(fn=_compute_fig13, args=(params["n"], params["seed"]), key="fig13")]
+
+
+def run_fig13(*, n: int = 10_000, seed: int = 19) -> Fig13Result:
+    """Sample both entropy distributions at the analysis parameters.
+
+    Thin backward-compatible wrapper over ``run_scenario("fig13", ...)``.
+    """
+    return run_scenario("fig13", n=n, seed=seed).artifact

@@ -23,7 +23,8 @@ from typing import Dict, Sequence, Tuple
 from repro.config import FreeriderDegree, GossipParams, LiftingParams, planetlab_params
 from repro.experiments.cluster import ClusterConfig
 from repro.metrics.scores import DetectionReport, detection_report
-from repro.runtime.parallel import Job, run_jobs
+from repro.runtime.parallel import Job, Task, run_jobs
+from repro.scenarios import Param, RunResult, run_scenario, scenario
 
 #: the paper's freerider configuration (§7.1).
 PLANETLAB_DEGREE = FreeriderDegree(delta1=1.0 / 7.0, delta2=0.1, delta3=0.1)
@@ -83,7 +84,7 @@ def _extract_roles(cluster) -> Tuple[frozenset, frozenset]:
     return roles
 
 
-def run_fig14(
+def _compute_fig14(
     *,
     n: int = 120,
     seed: int = 23,
@@ -205,3 +206,122 @@ def run_fig14(
         freerider_ids=freerider_ids,
         degraded_ids=degraded_ids,
     )
+
+
+_FIG14_PARAMS = (
+    Param("n", int, 120, "system size", validate=lambda v: v >= 8, constraint=">= 8"),
+    Param("seed", int, 23, "deployment seed"),
+    Param("times", float, (25.0, 30.0, 35.0), sequence=True,
+          help="score snapshot instants (simulated seconds)",
+          validate=lambda v: len(v) >= 1, constraint="at least one instant"),
+    Param("p_dcc_values", float, (1.0, 0.5), sequence=True,
+          help="cross-checking probabilities (one deployment each)"),
+    Param("freerider_fraction", float, 0.10, "fraction of freerider nodes",
+          validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+    Param("deltas", float, PLANETLAB_DEGREE.as_tuple(), sequence=True,
+          help="(δ1, δ2, δ3) of the freeriders",
+          validate=lambda v: len(v) == 3, constraint="exactly 3 values"),
+    Param("degraded_fraction", float, 0.10, "fraction of poorly connected nodes"),
+    Param("degraded_loss", float, 0.12, "extra endpoint loss of degraded nodes"),
+    Param("degraded_upload", float, 40_000.0, "upload cap of degraded nodes (bytes/s)"),
+    Param("loss_rate", float, 0.04, "base datagram loss rate"),
+    Param("chunk_size", int, 1400, "chunk payload bytes"),
+    Param("calibration_duration", float, 20.0, "honest calibration run length (s)"),
+    Param("false_positive_target", float, 0.01, "beta target for the derived eta"),
+    Param("jobs", int, 1, "worker processes for the per-p_dcc deployments"),
+)
+
+
+def _fig14_task(params: dict) -> Fig14Result:
+    """Worker/driver body: the staged calibration → deployments run."""
+    kwargs = dict(params)
+    kwargs["degree"] = FreeriderDegree(*kwargs.pop("deltas"))
+    return _compute_fig14(**kwargs)
+
+
+def _fig14_metrics(result: Fig14Result, params) -> dict:
+    snapshots = {}
+    for (p_dcc, time), report in sorted(result.reports.items()):
+        snapshots[f"p_dcc={p_dcc:g}@{time:g}s"] = {
+            "detection": report.detection,
+            "false_positives": report.false_positives,
+        }
+    return {
+        "eta": result.eta,
+        "eta_calibrated": result.eta_calibrated,
+        "compensation": result.compensation,
+        "freeriders": len(result.freerider_ids),
+        "degraded": len(result.degraded_ids),
+        "snapshots": snapshots,
+    }
+
+
+def _fig14_render(run: RunResult) -> str:
+    result: Fig14Result = run.artifact
+    lines = [
+        f"compensation b~ = {result.compensation:.2f}; "
+        f"eta = {result.eta:.2f} (calibrated {result.eta_calibrated:.2f})",
+        "p_dcc  time(s)  detection  false positives",
+    ]
+    for (p_dcc, time), report in sorted(result.reports.items()):
+        lines.append(
+            f"{p_dcc:5.1f}  {time:7.0f}  {report.detection:9.0%}  "
+            f"{report.false_positives:15.0%}"
+        )
+    return "\n".join(lines)
+
+
+@scenario(
+    "fig14",
+    "Figure 14 — PlanetLab-style score CDF snapshots per p_dcc",
+    params=_FIG14_PARAMS,
+    reduce=None,  # single staged task; its result is the artifact
+    summarize=_fig14_metrics,
+    render=_fig14_render,
+    tags=("figure", "deployment", "staged"),
+    smoke={"n": 40, "times": (6.0, 8.0), "calibration_duration": 4.0},
+    sim_time=lambda params: max(params["times"]),
+)
+def _fig14_scenario(params):
+    """A single staged task: the calibration job feeds the per-``p_dcc``
+    deployment jobs, so the stages cannot be expressed as one flat wave
+    — the task fans its inner stages out with the ``jobs`` parameter
+    itself (see docs/SCENARIOS.md, "Staged scenarios")."""
+    return [Task(fn=_fig14_task, args=(dict(params),), key="fig14")]
+
+
+def run_fig14(
+    *,
+    n: int = 120,
+    seed: int = 23,
+    times: Sequence[float] = (25.0, 30.0, 35.0),
+    p_dcc_values: Sequence[float] = (1.0, 0.5),
+    freerider_fraction: float = 0.10,
+    degree: FreeriderDegree = PLANETLAB_DEGREE,
+    degraded_fraction: float = 0.10,
+    degraded_loss: float = 0.12,
+    degraded_upload: float = 40_000.0,
+    loss_rate: float = 0.04,
+    chunk_size: int = 1400,
+    calibration_duration: float = 20.0,
+    false_positive_target: float = 0.01,
+    jobs: int = 1,
+) -> Fig14Result:
+    """Backward-compatible wrapper over ``run_scenario("fig14", ...)``."""
+    return run_scenario(
+        "fig14",
+        n=n,
+        seed=seed,
+        times=tuple(float(t) for t in times),
+        p_dcc_values=tuple(float(p) for p in p_dcc_values),
+        freerider_fraction=freerider_fraction,
+        deltas=degree.as_tuple(),
+        degraded_fraction=degraded_fraction,
+        degraded_loss=degraded_loss,
+        degraded_upload=degraded_upload,
+        loss_rate=loss_rate,
+        chunk_size=chunk_size,
+        calibration_duration=calibration_duration,
+        false_positive_target=false_positive_target,
+        jobs=jobs,
+    ).artifact

@@ -24,7 +24,8 @@ from typing import Sequence, Tuple
 
 from repro.config import planetlab_params
 from repro.experiments.cluster import ClusterConfig, SimCluster
-from repro.runtime.parallel import Task, run_tasks
+from repro.runtime.parallel import Task
+from repro.scenarios import Param, RunResult, run_scenario, scenario
 from repro.util.validation import require
 
 
@@ -104,6 +105,73 @@ def _measure_point(n: int, seed: int, warmup: float, duration: float) -> Scaling
     )
 
 
+_SCALING_PARAMS = (
+    Param("sizes", int, (100, 300, 1000), sequence=True,
+          help="deployment sizes to measure",
+          validate=lambda v: len(v) >= 1, constraint="at least one size"),
+    Param("duration", float, 3.0, "timed simulated seconds per size",
+          validate=lambda v: v > 0, constraint="> 0"),
+    Param("warmup", float, 2.0, "warm-up simulated seconds per size",
+          validate=lambda v: v >= 0, constraint=">= 0"),
+    Param("seed", int, 1, "deployment seed"),
+    Param("jobs", int, 1, "worker processes (keep 1 for timing baselines)"),
+)
+
+
+def _scaling_reduce(points, params) -> ScalingResult:
+    return ScalingResult(
+        points=tuple(points),
+        warmup=params["warmup"],
+        duration=params["duration"],
+        seed=params["seed"],
+    )
+
+
+def _scaling_metrics(result: ScalingResult, params) -> dict:
+    return {
+        "warmup_sim_s": result.warmup,
+        "duration_sim_s": result.duration,
+        "points": [
+            {
+                "n": point.n,
+                "s_per_sim_second": point.s_per_sim_second,
+                "events_per_wall_second": point.events_per_wall_second,
+                "events": point.events,
+            }
+            for point in result.points
+        ],
+    }
+
+
+def _scaling_render(run: RunResult) -> str:
+    lines = ["     n  s/sim-s   events/s"]
+    for n, sps, eps in run.artifact.rows():
+        lines.append(f"{n:6d}  {sps:7.3f}  {eps:9,.0f}")
+    return "\n".join(lines)
+
+
+@scenario(
+    "scaling",
+    "Large-n scalability sweep — wall-clock seconds per simulated second vs n",
+    params=_SCALING_PARAMS,
+    reduce=_scaling_reduce,
+    summarize=_scaling_metrics,
+    render=_scaling_render,
+    tags=("sweep", "performance", "deployment"),
+    smoke={"sizes": (30,), "duration": 0.4, "warmup": 0.2},
+)
+def _scaling_scenario(params):
+    """One timing task per deployment size (timed inside the worker)."""
+    return [
+        Task(
+            fn=_measure_point,
+            args=(int(n), params["seed"], params["warmup"], params["duration"]),
+            key=int(n),
+        )
+        for n in params["sizes"]
+    ]
+
+
 def run_scaling(
     sizes: Sequence[int] = (100, 300, 1000),
     *,
@@ -112,15 +180,16 @@ def run_scaling(
     seed: int = 1,
     jobs: int = 1,
 ) -> ScalingResult:
-    """Measure the s-per-sim-second curve over ``sizes``."""
+    """Measure the s-per-sim-second curve over ``sizes``.
+
+    Thin backward-compatible wrapper over ``run_scenario("scaling", ...)``.
+    """
     require(len(sizes) >= 1, "need at least one size")
-    require(duration > 0, "duration must be > 0")
-    require(warmup >= 0, "warmup must be >= 0")
-    tasks = [
-        Task(fn=_measure_point, args=(int(n), seed, warmup, duration), key=int(n))
-        for n in sizes
-    ]
-    points = run_tasks(tasks, jobs=jobs)
-    return ScalingResult(
-        points=tuple(points), warmup=warmup, duration=duration, seed=seed
-    )
+    return run_scenario(
+        "scaling",
+        sizes=tuple(int(n) for n in sizes),
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        jobs=jobs,
+    ).artifact

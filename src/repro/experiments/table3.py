@@ -18,7 +18,8 @@ from repro.analysis.overhead import MessageCountModel, expected_message_counts, 
 from repro.config import GossipParams, planetlab_params
 from repro.experiments.cluster import ClusterConfig
 from repro.metrics.overhead import message_counts_per_node_period
-from repro.runtime.parallel import Job, run_jobs
+from repro.runtime.parallel import Job
+from repro.scenarios import Param, RunResult, run_scenario, scenario
 
 
 @dataclass
@@ -42,6 +43,119 @@ def _extract_message_counts(cluster, *, duration: float) -> Dict[str, float]:
     )
 
 
+_TABLE3_PARAMS = (
+    Param("n", int, 100, "system size", validate=lambda v: v >= 8, constraint=">= 8"),
+    Param("duration", float, 12.0, "simulated seconds of the main deployment",
+          validate=lambda v: v > 0, constraint="> 0"),
+    Param("seed", int, 29, "deployment seed"),
+    Param("p_dcc", float, 1.0, "cross-checking probability",
+          validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+    Param("fanout_sweep", int, (4, 6, 8), sequence=True,
+          help="fanouts for the O(f^2) scaling check"),
+    Param("jobs", int, 1, "worker processes for the deployments (0 = all cores)"),
+)
+
+
+def _table3_reduce(results, params) -> Table3Result:
+    gossip_base, lifting_base = planetlab_params()
+    gossip = replace(gossip_base, n=params["n"])
+    by_key = {result.key: result for result in results}
+
+    measured = by_key["main"].get("counts")
+    model = expected_message_counts(
+        gossip.fanout, gossip.request_size, params["p_dcc"], lifting_base.managers
+    )
+    sweep: List[Tuple[int, float]] = [
+        (fanout, by_key[("fanout", fanout)].get("counts").get("Confirm", 0.0))
+        for fanout in params["fanout_sweep"]
+    ]
+    xs = [f for f, _c in sweep if _c > 0]
+    ys = [c for _f, c in sweep if c > 0]
+    slope = scaling_exponent(xs, ys) if len(xs) >= 2 else float("nan")
+    return Table3Result(
+        measured=measured,
+        model=model,
+        fanout_sweep=sweep,
+        confirm_scaling_slope=slope,
+    )
+
+
+def _table3_metrics(result: Table3Result, params) -> dict:
+    return {
+        "measured_per_node_period": dict(result.measured),
+        "model": {
+            "acks": result.model.acks,
+            "confirms": result.model.confirms_sent,
+            "responses": result.model.confirm_responses_sent,
+        },
+        "fanout_sweep_confirms": [
+            {"fanout": fanout, "confirms": confirms}
+            for fanout, confirms in result.fanout_sweep
+        ],
+        "confirm_scaling_slope": result.confirm_scaling_slope,
+    }
+
+
+def _table3_render(run: RunResult) -> str:
+    result: Table3Result = run.artifact
+    lines = ["kind          measured/node/period"]
+    for kind, count in sorted(result.measured.items()):
+        lines.append(f"{kind:12s}  {count:8.2f}")
+    lines.append(
+        f"model: acks {result.model.acks:.2f}, confirms "
+        f"{result.model.confirms_sent:.2f}, responses "
+        f"{result.model.confirm_responses_sent:.2f}"
+    )
+    lines.append(f"confirm ~ f^{result.confirm_scaling_slope:.2f}")
+    return "\n".join(lines)
+
+
+@scenario(
+    "table3",
+    "Table 3 — verification message counts vs the expected-count model",
+    params=_TABLE3_PARAMS,
+    reduce=_table3_reduce,
+    summarize=_table3_metrics,
+    render=_table3_render,
+    tags=("table", "deployment"),
+    smoke={"n": 30, "duration": 4.0, "fanout_sweep": (4, 6)},
+)
+def _table3_scenario(params):
+    """The main deployment plus one deployment per sweep fanout."""
+    gossip_base, lifting_base = planetlab_params()
+    gossip = replace(gossip_base, n=params["n"])
+    lifting = replace(lifting_base, p_dcc=params["p_dcc"])
+    duration = params["duration"]
+
+    # Exclude the cold-start: normalise over the full run but report the
+    # steady-state approximation (duration is long enough to dominate).
+    job_list = [
+        Job(
+            config=ClusterConfig(gossip=gossip, lifting=lifting, seed=params["seed"]),
+            until=duration,
+            extractors=(
+                ("counts", partial(_extract_message_counts, duration=duration)),
+            ),
+            key="main",
+        )
+    ]
+    for fanout in params["fanout_sweep"]:
+        job_list.append(
+            Job(
+                config=ClusterConfig(
+                    gossip=replace(gossip, fanout=fanout), lifting=lifting,
+                    seed=params["seed"],
+                ),
+                until=duration / 2,
+                extractors=(
+                    ("counts", partial(_extract_message_counts, duration=duration / 2)),
+                ),
+                key=("fanout", fanout),
+            )
+        )
+    return job_list
+
+
 def run_table3(
     *,
     n: int = 100,
@@ -53,55 +167,16 @@ def run_table3(
 ) -> Table3Result:
     """Measure verification message counts and their fanout scaling.
 
+    Thin backward-compatible wrapper over ``run_scenario("table3", ...)``.
     The main deployment and each fanout-sweep deployment are
     independent; ``jobs`` fans them out to a process pool.
     """
-    gossip_base, lifting_base = planetlab_params()
-    gossip = replace(gossip_base, n=n)
-    lifting = replace(lifting_base, p_dcc=p_dcc)
-
-    # Exclude the cold-start: normalise over the full run but report the
-    # steady-state approximation (duration is long enough to dominate).
-    job_list = [
-        Job(
-            config=ClusterConfig(gossip=gossip, lifting=lifting, seed=seed),
-            until=duration,
-            extractors=(
-                ("counts", partial(_extract_message_counts, duration=duration)),
-            ),
-            key="main",
-        )
-    ]
-    for fanout in fanout_sweep:
-        job_list.append(
-            Job(
-                config=ClusterConfig(
-                    gossip=replace(gossip, fanout=fanout), lifting=lifting, seed=seed
-                ),
-                until=duration / 2,
-                extractors=(
-                    ("counts", partial(_extract_message_counts, duration=duration / 2)),
-                ),
-                key=("fanout", fanout),
-            )
-        )
-    by_key = {result.key: result for result in run_jobs(job_list, jobs=jobs)}
-
-    measured = by_key["main"].get("counts")
-    model = expected_message_counts(
-        gossip.fanout, gossip.request_size, p_dcc, lifting.managers
-    )
-    sweep: List[Tuple[int, float]] = [
-        (fanout, by_key[("fanout", fanout)].get("counts").get("Confirm", 0.0))
-        for fanout in fanout_sweep
-    ]
-
-    xs = [f for f, _c in sweep if _c > 0]
-    ys = [c for _f, c in sweep if c > 0]
-    slope = scaling_exponent(xs, ys) if len(xs) >= 2 else float("nan")
-    return Table3Result(
-        measured=measured,
-        model=model,
-        fanout_sweep=sweep,
-        confirm_scaling_slope=slope,
-    )
+    return run_scenario(
+        "table3",
+        n=n,
+        duration=duration,
+        seed=seed,
+        p_dcc=p_dcc,
+        fanout_sweep=tuple(int(f) for f in fanout_sweep),
+        jobs=jobs,
+    ).artifact

@@ -23,7 +23,8 @@ from typing import Dict, List, Sequence, Tuple
 from repro.config import planetlab_params
 from repro.experiments.cluster import ClusterConfig
 from repro.metrics.overhead import OverheadReport
-from repro.runtime.parallel import Job, run_jobs
+from repro.runtime.parallel import Job
+from repro.scenarios import Param, RunResult, run_scenario, scenario
 
 PAPER_OVERHEAD_PERCENT = {
     (674.0, 0.0): 1.07,
@@ -93,6 +94,64 @@ def table5_jobs(
     return job_list
 
 
+_TABLE5_PARAMS = (
+    Param("n", int, 100, "system size", validate=lambda v: v >= 8, constraint=">= 8"),
+    Param("duration", float, 10.0, "simulated seconds per grid cell",
+          validate=lambda v: v > 0, constraint="> 0"),
+    Param("seed", int, 31, "deployment seed (shared by every cell)"),
+    Param("rates_kbps", float, (674.0, 1082.0, 2036.0), sequence=True,
+          help="stream rates to sweep (kbps)"),
+    Param("p_dcc_values", float, (0.0, 0.5, 1.0), sequence=True,
+          help="cross-checking probabilities to sweep"),
+    Param("jobs", int, 1, "worker processes for the grid cells (0 = all cores)"),
+)
+
+
+def _table5_reduce(results, params) -> Table5Result:
+    return Table5Result(
+        cells={result.key: result.get("overhead") for result in results}
+    )
+
+
+def _table5_metrics(result: Table5Result, params) -> dict:
+    return {
+        "cells": [
+            {"rate_kbps": rate, "p_dcc": p_dcc, "overhead_percent": measured,
+             "paper_percent": paper}
+            for rate, p_dcc, measured, paper in result.rows()
+        ]
+    }
+
+
+def _table5_render(run: RunResult) -> str:
+    lines = ["rate(kbps)  p_dcc  measured   paper"]
+    for rate, p_dcc, measured, paper in run.artifact.rows():
+        lines.append(f"{rate:9.0f}   {p_dcc:4.1f}   {measured:6.2f}%   {paper:5.2f}%")
+    return "\n".join(lines)
+
+
+@scenario(
+    "table5",
+    "Table 5 — bandwidth overhead over the stream-rate × p_dcc grid",
+    params=_TABLE5_PARAMS,
+    reduce=_table5_reduce,
+    summarize=_table5_metrics,
+    render=_table5_render,
+    tags=("table", "sweep", "deployment"),
+    smoke={"n": 30, "duration": 3.0, "rates_kbps": (674.0,),
+           "p_dcc_values": (0.0, 1.0)},
+)
+def _table5_scenario(params):
+    """One independent deployment job per ``(rate, p_dcc)`` grid cell."""
+    return table5_jobs(
+        n=params["n"],
+        duration=params["duration"],
+        seed=params["seed"],
+        rates_kbps=params["rates_kbps"],
+        p_dcc_values=params["p_dcc_values"],
+    )
+
+
 def run_table5(
     *,
     n: int = 100,
@@ -104,19 +163,17 @@ def run_table5(
 ) -> Table5Result:
     """Measure the overhead grid on a scaled-down deployment.
 
+    Thin backward-compatible wrapper over ``run_scenario("table5", ...)``.
     The grid cells are independent deployments; ``jobs`` fans them out
     to a process pool with bit-identical cells (every cell's seed and
     RNG streams depend only on its config, never on the worker count).
     """
-    job_list = table5_jobs(
+    return run_scenario(
+        "table5",
         n=n,
         duration=duration,
         seed=seed,
-        rates_kbps=rates_kbps,
-        p_dcc_values=p_dcc_values,
-    )
-    cells: Dict[Tuple[float, float], OverheadReport] = {
-        result.key: result.get("overhead")
-        for result in run_jobs(job_list, jobs=jobs)
-    }
-    return Table5Result(cells=cells)
+        rates_kbps=tuple(float(rate) for rate in rates_kbps),
+        p_dcc_values=tuple(float(p) for p in p_dcc_values),
+        jobs=jobs,
+    ).artifact

@@ -1,0 +1,372 @@
+"""Built-in scenarios without a legacy ``experiments/`` runner module.
+
+These used to be hand-wired CLI subcommands only (``detect``,
+``analyze``, ``live``); registering them makes every workload reachable
+through the same ``run_scenario`` engine, gives them the uniform
+``RunResult`` envelope, and derives their CLI flags from the same
+:class:`~repro.scenarios.spec.Param` declarations as every figure —
+no subcommand can silently lack a flag its parameters support anymore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.runtime.parallel import Task
+from repro.scenarios.registry import scenario
+from repro.scenarios.spec import Param, RunResult
+
+__all__ = ["DetectResult"]
+
+
+# ----------------------------------------------------------------------
+# detect — the quickstart as a scenario
+# ----------------------------------------------------------------------
+
+@dataclass
+class DetectResult:
+    """Artifact of one calibrated detection run."""
+
+    compensation: float
+    eta: float
+    report: object  # DetectionReport
+    overhead: object  # OverheadReport
+    expelled: List[int]
+    wrongful: List[int]
+
+
+def _compute_detect(params: dict) -> DetectResult:
+    """Calibrate, deploy with freeriders, run, report (staged task)."""
+    from dataclasses import replace
+
+    from repro.config import FreeriderDegree, planetlab_params
+    from repro.experiments.calibration import calibrate
+    from repro.experiments.cluster import ClusterConfig, SimCluster
+
+    gossip, lifting = planetlab_params()
+    gossip = replace(gossip, n=params["n"], chunk_size=1400)
+    lifting = replace(
+        lifting, p_dcc=params["p_dcc"], assumed_loss_rate=params["loss"]
+    )
+    calibration = calibrate(
+        gossip,
+        lifting,
+        seed=params["seed"] + 1,
+        duration=10.0,
+        loss_rate=params["loss"],
+    )
+    eta = calibration.eta_for_false_positives(0.01)
+    cluster = SimCluster(
+        ClusterConfig(
+            gossip=gossip,
+            lifting=lifting,
+            seed=params["seed"],
+            loss_rate=params["loss"],
+            freerider_fraction=params["freeriders"],
+            freerider_degree=FreeriderDegree(
+                params["delta1"], params["delta2"], params["delta3"]
+            ),
+            compensation=calibration.compensation,
+            expulsion_enabled=params["expel"],
+        )
+    )
+    cluster.run(until=params["duration"])
+    expelled = sorted(cluster.controller.expelled_nodes())
+    wrongful = sorted(n for n in expelled if n not in cluster.freerider_ids)
+    return DetectResult(
+        compensation=calibration.compensation,
+        eta=eta,
+        report=cluster.detection(eta=eta),
+        overhead=cluster.overhead(),
+        expelled=list(expelled),
+        wrongful=list(wrongful),
+    )
+
+
+def _detect_metrics(result: DetectResult, params) -> dict:
+    return {
+        "compensation": result.compensation,
+        "eta": result.eta,
+        "detection": result.report.detection,
+        "false_positives": result.report.false_positives,
+        "overhead_percent": result.overhead.overhead_percent,
+        "expelled": result.expelled,
+        "wrongful_expulsions": result.wrongful,
+    }
+
+
+def _detect_render(run: RunResult) -> str:
+    result: DetectResult = run.artifact
+    lines = [
+        f"compensation b~ = {result.compensation:.2f}, eta = {result.eta:.2f}",
+        result.report.summary(),
+        str(result.overhead),
+    ]
+    if run.params.get("expel"):
+        lines.append(
+            f"expelled: {len(result.expelled)} ({len(result.wrongful)} honest)"
+        )
+    return "\n".join(lines)
+
+
+@scenario(
+    "detect",
+    "Calibrate, deploy with freeriders, and report detection (the quickstart)",
+    params=(
+        Param("n", int, 100, "system size",
+              validate=lambda v: v >= 8, constraint=">= 8"),
+        Param("seed", int, 1, "experiment seed"),
+        Param("duration", float, 30.0, "simulated seconds",
+              validate=lambda v: v > 0, constraint="> 0"),
+        Param("loss", float, 0.04, "datagram loss rate",
+              validate=lambda v: 0.0 <= v < 1.0, constraint="in [0, 1)"),
+        Param("freeriders", float, 0.10, "freerider fraction",
+              validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+        Param("delta1", float, 1 / 7, "fanout-decrease degree δ1"),
+        Param("delta2", float, 0.1, "partial-propose degree δ2"),
+        Param("delta3", float, 0.1, "partial-serve degree δ3"),
+        Param("p_dcc", float, 1.0, "cross-check probability",
+              validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+        Param("expel", bool, False, "enforce expulsion"),
+    ),
+    summarize=_detect_metrics,
+    render=_detect_render,
+    tags=("demo", "deployment", "staged"),
+    smoke={"n": 40, "duration": 6.0},
+)
+def _detect_scenario(params):
+    return [Task(fn=_compute_detect, args=(dict(params),), key="detect")]
+
+
+# ----------------------------------------------------------------------
+# analyze — the closed-form designer toolbox as a scenario
+# ----------------------------------------------------------------------
+
+def _compute_analyze(params: dict) -> Dict[str, object]:
+    """Closed-form design constants + optional Monte-Carlo validation."""
+    from repro.analysis.detection import (
+        alpha_lower_bound,
+        beta_upper_bound,
+        minimum_periods_for_beta,
+    )
+    from repro.analysis.entropy_analysis import (
+        achievable_max_bias,
+        gamma_for_window,
+        max_bias_probability,
+        required_history_for_bias,
+    )
+    from repro.analysis.freerider_blames import expected_blame_excess
+    from repro.analysis.overhead import expected_message_counts
+    from repro.analysis.wrongful_blames import expected_blame_honest
+    from repro.config import FreeriderDegree
+
+    fanout = params["fanout"]
+    request_size = params["request_size"]
+    p_r = 1.0 - params["loss"]
+    colluders = params["colluders"]
+    window = params["history"] * fanout
+    gamma = gamma_for_window(window)
+    counts = expected_message_counts(fanout, request_size, 1.0, params["managers"])
+
+    blame_excess = {}
+    for delta in sorted({0.035, 0.05, 0.1, params["delta"]}):
+        degree = FreeriderDegree.uniform(delta)
+        blame_excess[f"{delta:g}"] = {
+            "excess_per_period": expected_blame_excess(
+                degree, fanout, request_size, p_r
+            ),
+            "bandwidth_gain": degree.bandwidth_gain,
+        }
+
+    metrics: Dict[str, object] = {
+        "fanout": fanout,
+        "request_size": request_size,
+        "loss": params["loss"],
+        "compensation": expected_blame_honest(fanout, request_size, p_r),
+        "blame_excess_by_delta": blame_excess,
+        "audit_window": window,
+        "gamma": gamma,
+        "collusion_ceiling": {
+            "eq7": max_bias_probability(gamma, colluders, window),
+            "achievable": achievable_max_bias(gamma, colluders, window),
+        },
+        "coalition_ceilings": {
+            str(m): max_bias_probability(gamma, m, window) for m in (10, 25, 50)
+        },
+        "history_for_15pct_bias": required_history_for_bias(
+            colluders, fanout, max_tolerated_bias=0.15
+        ),
+        "message_budget": {
+            "data": counts.data_messages,
+            "verification": counts.verification_messages,
+            "max_blames": counts.max_blame_messages,
+            "confirms_at_quarter_p_dcc": expected_message_counts(
+                fanout, request_size, 0.25, params["managers"]
+            ).confirms_sent,
+        },
+    }
+
+    if params["mc_samples"] > 0:
+        from repro.mc.blame_model import BlameModel, simulate_scores
+        from repro.util.rng import make_generator
+
+        eta, rounds = params["eta"], params["rounds"]
+        degree = FreeriderDegree.uniform(params["delta"])
+        model = BlameModel(fanout, request_size, p_r)
+        rng = make_generator(params["seed"], "analyze")
+        sigma = model.sample_sigma(rng, samples=params["mc_samples"])
+        sigma_fr = model.sample_sigma(
+            rng, samples=params["mc_samples"], degree=degree
+        )
+        excess = expected_blame_excess(degree, fanout, request_size, p_r)
+        sample = simulate_scores(
+            model,
+            rng,
+            n_honest=params["mc_samples"],
+            n_freeriders=params["mc_samples"],
+            degree=degree,
+            rounds=rounds,
+        )
+        metrics["monte_carlo"] = {
+            "eta": eta,
+            "rounds": rounds,
+            "delta": params["delta"],
+            "sigma": sigma,
+            "beta_bound": beta_upper_bound(sigma, rounds, eta),
+            "alpha_bound": alpha_lower_bound(sigma_fr, rounds, eta, excess),
+            "min_periods_beta_1pct": minimum_periods_for_beta(sigma, eta, 0.01),
+            "alpha": sample.detection_fraction(eta),
+            "beta": sample.false_positive_fraction(eta),
+        }
+    return metrics
+
+
+def _analyze_render(run: RunResult) -> str:
+    m = run.metrics
+    lines = [
+        f"f={m['fanout']}, |R|={m['request_size']}, loss={m['loss']:.0%}",
+        f"compensation b~ (Eq. 5):       {m['compensation']:.2f}",
+    ]
+    for delta, entry in m["blame_excess_by_delta"].items():
+        lines.append(
+            f"blame excess at delta={float(delta):5.3f}: "
+            f"{entry['excess_per_period']:6.2f} "
+            f"(gain {entry['bandwidth_gain']:.0%})"
+        )
+    lines.append(
+        f"audit window {m['audit_window']} entries -> gamma = {m['gamma']:.2f}"
+    )
+    ceiling = m["collusion_ceiling"]
+    lines.append(
+        f"collusion ceiling: Eq.7 {ceiling['eq7']:.2f}, "
+        f"achievable {ceiling['achievable']:.2f}"
+    )
+    budget = m["message_budget"]
+    lines.append(
+        f"message budget/node/period: data {budget['data']:.0f}, "
+        f"verification {budget['verification']:.0f}"
+    )
+    mc = m.get("monte_carlo")
+    if mc:
+        lines.append(
+            f"MC (delta={mc['delta']:g}, r={mc['rounds']}): "
+            f"sigma={mc['sigma']:.2f}, alpha={mc['alpha']:.3f}, "
+            f"beta={mc['beta']:.4f} "
+            f"(bounds: alpha>={mc['alpha_bound']:.3f}, beta<={mc['beta_bound']:.4f})"
+        )
+    return "\n".join(lines)
+
+
+@scenario(
+    "analyze",
+    "Closed-form design constants (+ optional Monte-Carlo cross-validation)",
+    params=(
+        Param("fanout", int, 12, "gossip fanout f",
+              validate=lambda v: v >= 1, constraint=">= 1"),
+        Param("request_size", int, 4, "per-proposal request size |R|",
+              validate=lambda v: v >= 1, constraint=">= 1"),
+        Param("loss", float, 0.07, "assumed message loss rate",
+              validate=lambda v: 0.0 <= v < 1.0, constraint="in [0, 1)"),
+        Param("colluders", int, 25, "coalition size m' for Eq. 7"),
+        Param("history", int, 50, "audit history length n_h (periods)"),
+        Param("managers", int, 25, "reputation managers M"),
+        Param("eta", float, -9.75, "score threshold for the MC validation"),
+        Param("rounds", int, 50, "grace periods r for the MC validation"),
+        Param("delta", float, 0.1, "freeriding degree for the MC validation"),
+        Param("seed", int, 0, "Monte-Carlo seed"),
+        Param("mc_samples", int, 0,
+              "Monte-Carlo samples per population (0 = closed forms only)"),
+    ),
+    render=_analyze_render,
+    tags=("analysis",),
+    smoke={"mc_samples": 2_000},
+)
+def _analyze_scenario(params):
+    # The artifact *is* the metrics mapping (no summarize needed).
+    return [Task(fn=_compute_analyze, args=(dict(params),), key="analyze")]
+
+
+# ----------------------------------------------------------------------
+# live — the asyncio loopback deployment as a scenario
+# ----------------------------------------------------------------------
+
+def _compute_live(params: dict):
+    """One real-time run over loopback sockets (asyncio)."""
+    import asyncio
+
+    from repro.config import FreeriderDegree
+    from repro.runtime import RuntimeCluster, RuntimeConfig
+
+    config = RuntimeConfig(
+        n=params["n"],
+        duration=params["duration"],
+        seed=params["seed"],
+        freerider_fraction=params["freeriders"],
+        freerider_degree=FreeriderDegree(*params["deltas"]),
+    )
+    return asyncio.run(RuntimeCluster(config).run())
+
+
+def _live_metrics(report, params) -> dict:
+    return {
+        "chunks_emitted": report.chunks_emitted,
+        "delivery_ratio": report.delivery_ratio,
+        "detection": report.detection.detection,
+        "false_positives": report.detection.false_positives,
+        "datagrams_sent": report.datagrams_sent,
+        "datagrams_dropped": report.datagrams_dropped,
+        "freeriders": len(report.freerider_ids),
+    }
+
+
+def _live_render(run: RunResult) -> str:
+    report = run.artifact
+    return (
+        f"chunks: {report.chunks_emitted}, delivery {report.delivery_ratio:.1%}\n"
+        f"{report.detection.summary()}"
+    )
+
+
+@scenario(
+    "live",
+    "Run the protocol over real loopback sockets (asyncio, real time)",
+    params=(
+        Param("n", int, 12, "live nodes", validate=lambda v: v >= 4,
+              constraint=">= 4"),
+        Param("seed", int, 1, "deployment seed"),
+        Param("duration", float, 5.0, "real (wall-clock) seconds",
+              validate=lambda v: v > 0, constraint="> 0"),
+        Param("freeriders", float, 0.2, "freerider fraction",
+              validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+        Param("deltas", float, (0.25, 0.3, 0.3), sequence=True,
+              help="(δ1, δ2, δ3) of the freeriders",
+              validate=lambda v: len(v) == 3, constraint="exactly 3 values"),
+    ),
+    summarize=_live_metrics,
+    render=_live_render,
+    tags=("live",),
+    smoke={"n": 8, "duration": 1.5},
+)
+def _live_scenario(params):
+    return [Task(fn=_compute_live, args=(dict(params),), key="live")]
