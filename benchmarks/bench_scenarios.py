@@ -16,6 +16,12 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_scenarios.py --skip-tag live
     PYTHONPATH=src python benchmarks/bench_scenarios.py --smoke --json-dir out/
 
+The socket-backed scenarios (tag ``live``: the plain ``live`` deployment
+and the fault-injecting ``chaos`` run) are part of the sweep like any
+other registration; CI runs them in a dedicated timeout-bounded job
+(``--only live --only chaos``) so a hung event loop cannot stall the
+simulator benchmarks, which skip them via ``--skip-tag live``.
+
 ``--smoke`` is accepted for CI-invocation symmetry with the other bench
 scripts; smoke sizing is the default (and only) mode — full-scale runs
 belong to the per-figure benchmark harness.

@@ -314,6 +314,28 @@ def _make_alias_handler(alias: Alias, dest_to_param: Mapping[str, str]):
     return handler
 
 
+def _cmd_audit_verify(args: argparse.Namespace) -> int:
+    """Verify (and optionally recover) an HMAC-chained audit log."""
+    from repro.core.auditlog import AuditLog
+
+    try:
+        log = AuditLog.load(args.path, key_seed=args.key_seed)
+    except OSError as exc:
+        print(f"repro audit-verify: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    report = log.verify_all()
+    print(report.summary())
+    if report.ok:
+        return 0
+    if not args.recover:
+        return 1
+    recovery = log.rollback()
+    print(recovery.summary())
+    confirm = log.verify_all()
+    print(confirm.summary())
+    return 0 if confirm.ok else 1
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -337,6 +359,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     describe.add_argument("scenario", help="registered scenario name")
     describe.set_defaults(handler=_cmd_describe)
+    audit = sub.add_parser(
+        "audit-verify",
+        help="verify a tamper-evident audit log (exit 1 when the chain is broken)",
+    )
+    audit.add_argument("path", help="JSONL audit-log file (see the chaos scenario)")
+    audit.add_argument(
+        "--key-seed",
+        default="lifting-audit",
+        help="seed of the HMAC key the log was written with",
+    )
+    audit.add_argument(
+        "--recover",
+        action="store_true",
+        help="on a broken chain, roll back to the last consistent snapshot "
+        "(rewrites the file; exit 0 when the recovered chain verifies)",
+    )
+    audit.set_defaults(handler=_cmd_audit_verify)
 
     # Legacy aliases, flags derived from the same Param declarations.
     for command, alias in ALIASES.items():

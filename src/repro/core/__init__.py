@@ -11,9 +11,12 @@ Components:
 * :mod:`repro.core.audit` — local history auditing: entropy checks on
   fanout and fanin plus the a-posteriori cross-check (§5.3).
 * :mod:`repro.core.detector` — the cluster-side expulsion controller.
+* :mod:`repro.core.auditlog` — the tamper-evident HMAC-chained record
+  of blame votes and expulsion decisions (deployment hardening).
 """
 
 from repro.core.audit import AuditResult, Auditor, AuditScheduler
+from repro.core.auditlog import AuditLog, AuditRecord, ChainReport, RollbackReport
 from repro.core.blames import (
     REASON_AUDIT_COMPENSATION,
     REASON_FANOUT_DECREASE,
@@ -32,7 +35,11 @@ from repro.core.reputation import ManagerAssignment, ManagerRecord, ReputationMa
 from repro.core.verification import VerificationEngine
 
 __all__ = [
+    "AuditLog",
+    "AuditRecord",
     "AuditResult",
+    "ChainReport",
+    "RollbackReport",
     "AuditScheduler",
     "Auditor",
     "ExpulsionController",

@@ -1,0 +1,282 @@
+"""Tamper-evident audit trail for blame and expulsion decisions.
+
+LiFTinG's sanctions are only as trustworthy as the record of who decided
+what, when — and the reputation managers keeping that record are
+themselves untrusted peers.  This module provides the deployment-side
+answer: an **HMAC-chained append-only log**.  Each record's tag is::
+
+    tag_i = HMAC-SHA256(key, tag_{i-1} || canonical_json(record_i))
+
+with ``tag_{-1}`` a zero block, so flipping a single byte anywhere
+invalidates every tag from that point on — an auditor holding the key
+detects tampering with :meth:`AuditLog.verify_all` and recovers with
+:meth:`AuditLog.rollback`, which truncates to the last *consistent
+snapshot* (a periodic record carrying a digest of the reputation state)
+inside the longest valid prefix.
+
+The log is in-memory first (the live runtime appends expulsion-quorum
+and enforcement events as they happen) and optionally mirrored to a
+JSONL file, one record per line, which the ``repro audit-verify`` CLI
+verb checks offline.  :meth:`rollover` archives a grown chain and
+starts a new segment whose first record seals the previous head, so
+archived segments stay independently verifiable.
+
+The key is derived from a seed string with SHA-256 — a stand-in for a
+per-deployment secret; the chain format is key-agnostic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Optional, Tuple
+
+from repro.util.validation import require
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "ChainReport",
+    "RollbackReport",
+    "derive_key",
+]
+
+_GENESIS = b"\x00" * 32
+
+SNAPSHOT_KIND = "snapshot"
+ROLLOVER_KIND = "rollover"
+
+
+def derive_key(key_seed: str) -> bytes:
+    """Deployment key from a seed string (stand-in for a real secret)."""
+    return hashlib.sha256(key_seed.encode("utf-8")).digest()
+
+
+def _canonical(seq: int, ts: float, kind: str, data: Mapping) -> str:
+    """The byte-stable serialisation the HMAC covers."""
+    return json.dumps(
+        {"seq": seq, "ts": ts, "kind": kind, "data": data},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One chained log entry."""
+
+    seq: int
+    ts: float
+    kind: str
+    data: Mapping
+    tag: str  # hex HMAC over (previous tag || canonical payload)
+
+    def to_line(self) -> str:
+        payload = json.loads(_canonical(self.seq, self.ts, self.kind, self.data))
+        payload["tag"] = self.tag
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_line(cls, line: str) -> "AuditRecord":
+        raw = json.loads(line)
+        return cls(
+            seq=int(raw["seq"]),
+            ts=float(raw["ts"]),
+            kind=str(raw["kind"]),
+            data=raw["data"],
+            tag=str(raw["tag"]),
+        )
+
+
+@dataclass(frozen=True)
+class ChainReport:
+    """Outcome of a full-chain verification pass."""
+
+    ok: bool
+    length: int
+    #: records [0, valid_prefix) verify; == length when ok.
+    valid_prefix: int
+    #: seq of the first bad record (None when ok).
+    first_bad_seq: Optional[int] = None
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"chain ok: {self.length} records verified"
+        return (
+            f"TAMPERED: record seq={self.first_bad_seq} fails verification "
+            f"({self.valid_prefix}/{self.length} records intact)"
+        )
+
+
+@dataclass(frozen=True)
+class RollbackReport:
+    """Outcome of a rollback-to-last-consistent-snapshot recovery."""
+
+    recovered: bool
+    kept: int
+    dropped: int
+    #: data payload of the snapshot rolled back to (None: bare prefix).
+    snapshot: Optional[Mapping] = None
+
+    def summary(self) -> str:
+        if not self.recovered:
+            return "nothing to recover: chain verifies"
+        anchor = "snapshot" if self.snapshot is not None else "valid prefix"
+        return f"recovered: rolled back to last consistent {anchor} ({self.kept} records kept, {self.dropped} dropped)"
+
+
+class AuditLog:
+    """HMAC-chained append-only log with verification and recovery.
+
+    Parameters
+    ----------
+    key_seed:
+        Seed of the HMAC key (see :func:`derive_key`).
+    path:
+        Optional JSONL mirror; every append writes one line (and
+        flushes), so the on-disk chain survives a crash mid-run.
+    clock:
+        Timestamp source (defaults to ``time.time``; the runtime passes
+        its own clock so records carry experiment time).
+    """
+
+    def __init__(
+        self,
+        key_seed: str = "lifting-audit",
+        path: Optional[str] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.key = derive_key(key_seed)
+        self.path = path
+        self.clock = clock if clock is not None else time.time
+        self.records: List[AuditRecord] = []
+        self._prev_tag = _GENESIS
+        self._file = None
+        if path is not None:
+            self._file = open(path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def _tag(self, prev: bytes, canonical: str) -> bytes:
+        return hmac.new(self.key, prev + canonical.encode("utf-8"), hashlib.sha256).digest()
+
+    def append(self, kind: str, ts: Optional[float] = None, **data) -> AuditRecord:
+        """Chain and (when mirrored) persist one event."""
+        seq = len(self.records)
+        ts = float(self.clock()) if ts is None else float(ts)
+        canonical = _canonical(seq, ts, kind, data)
+        tag = self._tag(self._prev_tag, canonical)
+        record = AuditRecord(seq=seq, ts=ts, kind=kind, data=data, tag=tag.hex())
+        self.records.append(record)
+        self._prev_tag = tag
+        if self._file is not None:
+            self._file.write(record.to_line() + "\n")
+            self._file.flush()
+        return record
+
+    def snapshot(self, state: Mapping) -> AuditRecord:
+        """Record a consistent-state snapshot (the rollback anchor)."""
+        return self.append(SNAPSHOT_KIND, **dict(state))
+
+    # ------------------------------------------------------------------
+    # verification & recovery
+    # ------------------------------------------------------------------
+    def verify_all(self) -> ChainReport:
+        """Re-derive every tag from the genesis block."""
+        prev = _GENESIS
+        for i, record in enumerate(self.records):
+            canonical = _canonical(record.seq, record.ts, record.kind, record.data)
+            expected = self._tag(prev, canonical)
+            if record.seq != i or not hmac.compare_digest(expected.hex(), record.tag):
+                return ChainReport(
+                    ok=False,
+                    length=len(self.records),
+                    valid_prefix=i,
+                    first_bad_seq=record.seq if record.seq == i else i,
+                )
+            prev = expected
+        return ChainReport(ok=True, length=len(self.records), valid_prefix=len(self.records))
+
+    def rollback(self) -> RollbackReport:
+        """Truncate to the last consistent snapshot inside the valid prefix.
+
+        No-op when the chain verifies.  When it does not, the log is cut
+        back to the most recent ``snapshot`` record that still verifies
+        (or the bare valid prefix when no snapshot survives), the chain
+        head is reset accordingly, and the JSONL mirror is rewritten.
+        """
+        report = self.verify_all()
+        if report.ok:
+            return RollbackReport(recovered=False, kept=len(self.records), dropped=0)
+        cut = report.valid_prefix
+        snapshot_data: Optional[Mapping] = None
+        for i in range(cut - 1, -1, -1):
+            if self.records[i].kind == SNAPSHOT_KIND:
+                snapshot_data = self.records[i].data
+                cut = i + 1
+                break
+        dropped = len(self.records) - cut
+        self.records = self.records[:cut]
+        self._prev_tag = bytes.fromhex(self.records[-1].tag) if self.records else _GENESIS
+        self._rewrite_mirror()
+        return RollbackReport(
+            recovered=True, kept=cut, dropped=dropped, snapshot=snapshot_data
+        )
+
+    def rollover(self, archive_path: Optional[str] = None) -> Tuple[int, AuditRecord]:
+        """Archive the current chain and start a new sealed segment.
+
+        The archived records (optionally written to ``archive_path`` as
+        their own verifiable JSONL chain) are replaced by a fresh chain
+        whose first record carries the previous head tag — the segments
+        stay cryptographically linked while each file verifies from the
+        zero genesis on its own.  Returns ``(archived_count, seal)``.
+        """
+        archived = self.records
+        head = archived[-1].tag if archived else _GENESIS.hex()
+        if archive_path is not None:
+            with open(archive_path, "w", encoding="utf-8") as fh:
+                for record in archived:
+                    fh.write(record.to_line() + "\n")
+        self.records = []
+        self._prev_tag = _GENESIS
+        seal = self.append(ROLLOVER_KIND, prev_head=head, archived=len(archived))
+        self._rewrite_mirror()
+        return len(archived), seal
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _rewrite_mirror(self) -> None:
+        if self.path is None:
+            return
+        if self._file is not None:
+            self._file.close()
+        with open(self.path, "w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(record.to_line() + "\n")
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @classmethod
+    def load(cls, path: str, key_seed: str = "lifting-audit") -> "AuditLog":
+        """Read a JSONL chain back (verification is the caller's move)."""
+        log = cls(key_seed=key_seed, path=None)
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                log.records.append(AuditRecord.from_line(line))
+        if log.records:
+            log._prev_tag = bytes.fromhex(log.records[-1].tag)
+        log.path = path
+        return log

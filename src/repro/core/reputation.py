@@ -143,6 +143,9 @@ class ReputationManager:
         self._quorum_votes = max(
             1, math.ceil(lifting.expel_quorum * assignment.managers_per_node)
         )
+        #: optional tamper-evident trail (:class:`repro.core.auditlog.AuditLog`);
+        #: when set, expulsion votes and quorum decisions are chained.
+        self.audit_log = None
 
     # ------------------------------------------------------------------
     # blame handling
@@ -249,6 +252,14 @@ class ReputationManager:
                 record.voted_expel = True
                 record.expel_votes.add(self.owner)
                 candidates.append(target)
+                if self.audit_log is not None:
+                    self.audit_log.append(
+                        "expel_vote",
+                        ts=now,
+                        voter=int(self.owner),
+                        target=int(target),
+                        score=float(score),
+                    )
         return candidates
 
     def on_expel_vote(self, voter: NodeId, target: NodeId) -> bool:
@@ -263,6 +274,14 @@ class ReputationManager:
         record.expel_votes.add(voter)
         if len(record.expel_votes) >= self._quorum_votes:
             record.expelled = True
+            if self.audit_log is not None:
+                self.audit_log.append(
+                    "expel_quorum",
+                    ts=self.now(),
+                    manager=int(self.owner),
+                    target=int(target),
+                    votes=sorted(int(v) for v in record.expel_votes),
+                )
             return True
         return False
 

@@ -292,6 +292,46 @@ class SimCluster:
         self.membership.add(node_id)
         self.nodes[node_id].start()
 
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def attach_faults(self, schedule) -> "object":
+        """Arm a :class:`~repro.runtime.faults.FaultSchedule`.
+
+        Window faults (drops, partitions, slow links) are enforced by a
+        :class:`~repro.runtime.faults.FaultPlane` hooked into the
+        network's send path; crash/restart instants are scheduled as
+        simulator timers mapped onto :meth:`leave` / :meth:`rejoin`.
+        Returns the plane (its counters feed scenario metrics).  The
+        plane draws from its own seeded stream, so an un-faulted run's
+        RNG sequences are untouched.
+        """
+        from repro.runtime.faults import FaultPlane
+
+        plane = FaultPlane(schedule, rng=self.seeds.generator("faults"))
+        self.network.attach_faults(plane)
+        for event in schedule.lifecycle_events():
+            for node_id in event.nodes:
+                if event.kind == "crash":
+                    self.sim.call_later(
+                        max(0.0, event.at - self.sim.now), self._crash, node_id, plane
+                    )
+                else:
+                    self.sim.call_later(
+                        max(0.0, event.at - self.sim.now), self._restart, node_id, plane
+                    )
+        return plane
+
+    def _crash(self, node_id: NodeId, plane) -> None:
+        if self.membership.contains(node_id):
+            self.leave(node_id)
+        plane.mark_crashed(node_id)
+
+    def _restart(self, node_id: NodeId, plane) -> None:
+        if not self.membership.contains(node_id):
+            self.rejoin(node_id)
+        plane.mark_restarted(node_id)
+
     def audit_results(self):
         """All sporadic-audit results collected across the cluster."""
         out = []

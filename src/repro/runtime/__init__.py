@@ -25,14 +25,28 @@ bit-identical results, used by every ``run_*`` experiment via its
 """
 
 from repro.runtime.cluster import RuntimeCluster, RuntimeConfig
+from repro.runtime.faults import FaultEvent, FaultPlane, FaultSchedule
 from repro.runtime.parallel import Job, JobResult, Task, resolve_jobs, run_jobs, run_tasks
+from repro.runtime.resilience import (
+    BoundedIngressQueue,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.runtime.transport import AsyncTransport, NodeRegistry
 
 __all__ = [
     "AsyncTransport",
+    "BoundedIngressQueue",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultPlane",
+    "FaultSchedule",
     "Job",
     "JobResult",
     "NodeRegistry",
+    "ResilienceConfig",
+    "RetryPolicy",
     "RuntimeCluster",
     "RuntimeConfig",
     "Task",

@@ -6,6 +6,20 @@ assignment, behaviours, a stream source — but on the asyncio transport
 and in real time.  Chunk creation times are kept in a shared in-process
 table so the health metric works identically.
 
+Robustness features (all off by default, switched on per config):
+
+* a :class:`~repro.runtime.faults.FaultSchedule` is executed by a
+  real-time driver task — crashes really close the node's sockets,
+  restarts rebind them — while drops/partitions/slow links ride the
+  transport's send hook;
+* when crashes are scripted, a *probe* task keeps sending reliable
+  audit requests to the crashed nodes from a healthy peer, which is
+  what walks the per-peer circuit breaker through
+  open → half-open → closed as the node dies and returns;
+* expulsion quorums reached by the reputation managers are enforced on
+  the :class:`~repro.runtime.transport.NodeRegistry` and chained into a
+  tamper-evident :class:`~repro.core.auditlog.AuditLog`.
+
 Usage (see ``examples/live_cluster.py``)::
 
     config = RuntimeConfig(n=12, duration=6.0, freerider_fraction=0.25)
@@ -20,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.config import FreeriderDegree, GossipParams, HONEST_DEGREE, LiftingParams
+from repro.core.auditlog import AuditLog
 from repro.core.reputation import ManagerAssignment, ScoreBoard
 from repro.gossip.chunks import SOURCE_ID, Chunk
 from repro.gossip.protocol import GossipNode
@@ -27,11 +42,17 @@ from repro.membership.full import FullMembership
 from repro.metrics.scores import DetectionReport, detection_report
 from repro.nodes.behavior import HonestBehavior
 from repro.nodes.freerider import FreeriderBehavior
+from repro.runtime.faults import FaultPlane, FaultSchedule
+from repro.runtime.resilience import ResilienceConfig
 from repro.runtime.transport import AsyncTransport, NodeRegistry
 from repro.util.rng import SeedSequenceFactory
-from repro.wire import Serve
+from repro.wire import AuditRequest, Serve
 
 NodeId = int
+
+#: cadence of the breaker-probe task (well under the breaker's reset
+#: timeout, so an open circuit is re-probed promptly).
+_PROBE_INTERVAL = 0.12
 
 
 @dataclass(frozen=True)
@@ -49,6 +70,18 @@ class RuntimeConfig:
     freerider_fraction: float = 0.0
     freerider_degree: FreeriderDegree = HONEST_DEGREE
     seed: int = 0
+    #: per-period probability of a sporadic entropy audit (0 = never).
+    p_audit: float = 0.0
+    #: enforce expulsion quorums on the registry (and audit-log them).
+    expulsion_enabled: bool = False
+    #: tuning of retry/breaker/ingress (None = defaults).
+    resilience: Optional[ResilienceConfig] = None
+    #: scripted faults to run against the deployment (None = none).
+    fault_schedule: Optional[FaultSchedule] = None
+    #: JSONL mirror of the audit log (None = in-memory only).
+    audit_log_path: Optional[str] = None
+    #: seed of the audit log's HMAC key.
+    audit_key_seed: str = "lifting-audit"
 
 
 @dataclass
@@ -62,6 +95,19 @@ class RuntimeReport:
     datagrams_sent: int
     datagrams_dropped: int
     freerider_ids: Set[NodeId] = field(default_factory=set)
+    datagram_errors: int = 0
+    sends_refused: int = 0
+    #: breaker / ingress-queue / connection counters (see
+    #: :meth:`AsyncTransport.resilience_snapshot`).
+    resilience: Dict[str, object] = field(default_factory=dict)
+    #: fault-plane injection counters (empty without a schedule).
+    faults: Dict[str, int] = field(default_factory=dict)
+    expelled: List[NodeId] = field(default_factory=list)
+    #: expelled nodes that were not freeriders (wrongful blame).
+    wrongful_expulsions: List[NodeId] = field(default_factory=list)
+    #: outcome of verifying the audit chain after the run.
+    audit_ok: Optional[bool] = None
+    audit_records: int = 0
 
 
 class RuntimeCluster:
@@ -90,6 +136,8 @@ class RuntimeCluster:
         self.chunk_created_at: Dict[int, float] = {}
         self.nodes: Dict[NodeId, GossipNode] = {}
         self.freerider_ids: Set[NodeId] = set()
+        self.audit_log: Optional[AuditLog] = None
+        self.expelled: List[NodeId] = []
 
     async def run(self) -> RuntimeReport:
         """Execute the deployment for ``config.duration`` real seconds."""
@@ -97,9 +145,25 @@ class RuntimeCluster:
         loop = asyncio.get_running_loop()
         seeds = SeedSequenceFactory(config.seed)
         registry = NodeRegistry()
+
+        plane: Optional[FaultPlane] = None
+        if config.fault_schedule is not None:
+            plane = FaultPlane(config.fault_schedule, rng=seeds.generator("faults"))
         transport = AsyncTransport(
-            loop, registry, loss_rate=config.loss_rate, rng=seeds.generator("loss")
+            loop,
+            registry,
+            loss_rate=config.loss_rate,
+            rng=seeds.generator("loss"),
+            resilience=config.resilience,
+            fault_plane=plane,
         )
+        log = AuditLog(
+            key_seed=config.audit_key_seed,
+            path=config.audit_log_path,
+            clock=transport.clock,
+        )
+        self.audit_log = log
+        log.append("run_start", n=config.n, seed=config.seed)
 
         node_ids = list(range(config.n))
         role_rng = seeds.generator("roles")
@@ -110,6 +174,19 @@ class RuntimeCluster:
 
         membership = FullMembership(seeds.generator("membership"), node_ids)
         assignment = ManagerAssignment(node_ids, self.lifting.managers, seeds.seed("mgr"))
+
+        expelled_set: Set[NodeId] = set()
+
+        def on_expel_quorum(manager_id: NodeId, target: NodeId, reason: str) -> None:
+            log.append(
+                "expulsion", target=int(target), by=int(manager_id), reason=reason
+            )
+            if not config.expulsion_enabled or target in expelled_set:
+                return
+            expelled_set.add(target)
+            self.expelled.append(target)
+            registry.expel(target)
+            membership.remove(target)
 
         for node_id in node_ids:
             behavior = (
@@ -127,14 +204,34 @@ class RuntimeCluster:
                 assignment=assignment,
                 rng=seeds.generator("node", node_id),
                 chunk_created_at=self._created_at,
+                on_expel_quorum=on_expel_quorum,
+                p_audit=config.p_audit,
             )
+            if node.manager is not None:
+                node.manager.audit_log = log
             self.nodes[node_id] = node
             await transport.open_endpoints(node_id, node.on_message)
 
         # The source: a plain coroutine pushing fresh chunks over UDP.
-        source_task = loop.create_task(
-            self._source(transport, membership, seeds)
-        )
+        source_task = loop.create_task(self._source(transport, membership, seeds))
+
+        fault_task = probe_task = None
+        if plane is not None:
+            fault_task = loop.create_task(
+                self._fault_driver(transport, plane, log)
+            )
+            crash_targets = sorted(
+                {
+                    nid
+                    for ev in config.fault_schedule.lifecycle_events()
+                    if ev.kind == "crash"
+                    for nid in ev.nodes
+                }
+            )
+            if crash_targets:
+                probe_task = loop.create_task(
+                    self._probe_crashed(transport, crash_targets)
+                )
 
         for node in self.nodes.values():
             node.start()
@@ -142,13 +239,19 @@ class RuntimeCluster:
         await asyncio.sleep(config.duration)
 
         source_task.cancel()
+        for task in (fault_task, probe_task):
+            if task is not None:
+                task.cancel()
         for node in self.nodes.values():
             node.stop()
         await asyncio.sleep(2 * config.gossip_period)  # drain in-flight timers
         await transport.close()
 
-        return self._report(transport, assignment)
+        return self._report(transport, assignment, plane, log)
 
+    # ------------------------------------------------------------------
+    # background tasks
+    # ------------------------------------------------------------------
     async def _source(self, transport: AsyncTransport, membership, seeds) -> None:
         # The source owns a real endpoint like any node; it just follows a
         # push schedule instead of the three-phase protocol.
@@ -168,10 +271,58 @@ class RuntimeCluster:
             next_id += 1
             await asyncio.sleep(self.config.chunk_interval)
 
+    async def _fault_driver(
+        self, transport: AsyncTransport, plane: FaultPlane, log: AuditLog
+    ) -> None:
+        """Apply the schedule's crash/restart instants in real time."""
+        for event in self.config.fault_schedule.lifecycle_events():
+            delay = event.at - transport.clock()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            for node_id in event.nodes:
+                node = self.nodes.get(node_id)
+                if node is None:
+                    continue
+                if event.kind == "crash":
+                    node.stop()
+                    transport.crash_node(node_id)
+                    plane.mark_crashed(node_id)
+                    log.append("fault", event="crash", node=int(node_id))
+                else:
+                    await transport.restart_node(node_id)
+                    plane.mark_restarted(node_id)
+                    node.start()
+                    log.append("fault", event="restart", node=int(node_id))
+
+    async def _probe_crashed(
+        self, transport: AsyncTransport, targets: List[NodeId]
+    ) -> None:
+        """Keep poking scripted-crash targets over the reliable path.
+
+        The prober is a node that never crashes; its audit requests are
+        harmless protocol traffic, but their fate — refused connects
+        while the target is down, a successful write after the restart —
+        is exactly the failure/success series that drives the target's
+        circuit breaker through open, half-open and back to closed.
+        """
+        prober = next(
+            (nid for nid in sorted(self.nodes) if nid not in targets), None
+        )
+        if prober is None:  # degenerate schedule: every node crashes
+            return
+        probe = AuditRequest(periods=1)
+        while True:
+            for target in targets:
+                transport.send(prober, target, probe, reliable=True)
+            await asyncio.sleep(_PROBE_INTERVAL)
+
     def _created_at(self, chunk_id: int) -> float:
         return self.chunk_created_at.get(chunk_id, 0.0)
 
-    def _report(self, transport, assignment) -> RuntimeReport:
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _report(self, transport, assignment, plane, log) -> RuntimeReport:
         emitted = len(self.chunk_created_at)
         if emitted and self.nodes:
             ratios = [
@@ -185,6 +336,15 @@ class RuntimeCluster:
             {nid: node.manager for nid, node in self.nodes.items() if node.manager}
         )
         scores = scoreboard.scores(list(self.nodes.keys()), assignment)
+        log.snapshot(
+            {
+                "chunks_emitted": emitted,
+                "delivery_ratio": round(delivery, 6),
+                "expelled": [int(n) for n in self.expelled],
+            }
+        )
+        chain = log.verify_all()
+        log.close()
         return RuntimeReport(
             chunks_emitted=emitted,
             delivery_ratio=delivery,
@@ -193,4 +353,14 @@ class RuntimeCluster:
             datagrams_sent=transport.datagrams_sent,
             datagrams_dropped=transport.datagrams_dropped,
             freerider_ids=set(self.freerider_ids),
+            datagram_errors=transport.datagram_errors,
+            sends_refused=transport.sends_refused,
+            resilience=transport.resilience_snapshot(),
+            faults=plane.counters() if plane is not None else {},
+            expelled=list(self.expelled),
+            wrongful_expulsions=[
+                n for n in self.expelled if n not in self.freerider_ids
+            ],
+            audit_ok=chain.ok,
+            audit_records=chain.length,
         )

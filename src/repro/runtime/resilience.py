@@ -1,0 +1,257 @@
+"""Resilience primitives for the live plane.
+
+The asyncio transport wraps its egress and ingress in three small,
+independently testable mechanisms (the classic middleware fault-handling
+triad — retry, circuit breaking, queue-based load leveling):
+
+* :class:`RetryPolicy` — exponential backoff with decorrelating jitter
+  for transient egress failures (a refused TCP connect, a dropped
+  stream).  Delays are drawn from an injected RNG so tests are
+  deterministic.
+* :class:`CircuitBreaker` — a per-peer closed/open/half-open gate.
+  ``failure_threshold`` consecutive failures open the circuit; while
+  open, attempts are suppressed instantly (no socket work, no backoff
+  sleeps); after ``reset_timeout`` the next attempt is admitted as a
+  *half-open probe* whose outcome either closes the circuit or re-opens
+  it.  Every transition is counted, so a chaos run can assert "the
+  breaker opened and recovered" from the counters alone.
+* :class:`BoundedIngressQueue` — the load-leveling buffer between the
+  sockets and the protocol nodes.  Decoded messages are queued and
+  drained in bounded batches by a pump task (throttling: the pump
+  yields to the event loop between batches); when the queue is full the
+  configured overflow policy either drops the oldest entry or rejects
+  the newcomer — both counted, never unbounded.
+
+All state transitions take the current time as an argument (or a clock
+callable at construction) instead of reading a wall clock, which keeps
+the simulator and the test suite in charge of time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.util.validation import require
+
+__all__ = [
+    "BoundedIngressQueue",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+DROP_OLDEST = "drop-oldest"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient egress failures.
+
+    Attempt ``k`` (0-based) sleeps ``base_delay * multiplier**k``,
+    capped at ``max_delay``, then scaled by a uniform jitter factor in
+    ``[1 - jitter, 1 + jitter]``.  ``max_attempts`` bounds the whole
+    cycle; a caller that exhausts it reports the failure to its circuit
+    breaker and abandons the payload (counted, never retried forever).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        require(self.max_attempts >= 1, "max_attempts must be >= 1")
+        require(self.base_delay >= 0.0, "base_delay must be >= 0")
+        require(self.multiplier >= 1.0, "multiplier must be >= 1")
+        require(0.0 <= self.jitter < 1.0, "jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Backoff before retrying after the ``attempt``-th failure."""
+        raw = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if rng is None or self.jitter == 0.0:
+            return raw
+        return raw * float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+
+
+@dataclass
+class BreakerCounters:
+    """Cumulative transition/outcome counts of one circuit breaker."""
+
+    successes: int = 0
+    failures: int = 0
+    opens: int = 0
+    closes: int = 0
+    half_open_probes: int = 0
+    suppressed: int = 0
+
+    def merge(self, other: "BreakerCounters") -> None:
+        self.successes += other.successes
+        self.failures += other.failures
+        self.opens += other.opens
+        self.closes += other.closes
+        self.half_open_probes += other.half_open_probes
+        self.suppressed += other.suppressed
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "successes": self.successes,
+            "failures": self.failures,
+            "opens": self.opens,
+            "closes": self.closes,
+            "half_open_probes": self.half_open_probes,
+            "suppressed": self.suppressed,
+        }
+
+
+class CircuitBreaker:
+    """Closed / open / half-open gate guarding one unreliable peer.
+
+    Usage: call :meth:`allow` before an attempt — ``False`` means the
+    circuit is open and the attempt must be suppressed without any
+    socket work; ``True`` admits it (and, when the reset timeout has
+    elapsed on an open circuit, marks it as the half-open probe).  Then
+    report the outcome with :meth:`record_success` /
+    :meth:`record_failure`.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        *,
+        failure_threshold: int = 2,
+        reset_timeout: float = 0.4,
+    ) -> None:
+        require(failure_threshold >= 1, "failure_threshold must be >= 1")
+        require(reset_timeout > 0.0, "reset_timeout must be > 0")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.state = STATE_CLOSED
+        self.counters = BreakerCounters()
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """Gate one attempt; transitions open → half-open when due."""
+        if self.state == STATE_CLOSED:
+            return True
+        if self.state == STATE_HALF_OPEN:
+            # One probe in flight at a time; concurrent attempts wait.
+            self.counters.suppressed += 1
+            return False
+        if self.clock() - self._opened_at >= self.reset_timeout:
+            self.state = STATE_HALF_OPEN
+            self.counters.half_open_probes += 1
+            return True
+        self.counters.suppressed += 1
+        return False
+
+    def record_success(self) -> None:
+        self.counters.successes += 1
+        self._consecutive_failures = 0
+        if self.state != STATE_CLOSED:
+            self.state = STATE_CLOSED
+            self.counters.closes += 1
+
+    def record_failure(self) -> None:
+        self.counters.failures += 1
+        self._consecutive_failures += 1
+        if self.state == STATE_HALF_OPEN:
+            self._open()
+        elif self.state == STATE_CLOSED and (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self.state = STATE_OPEN
+        self._opened_at = self.clock()
+        self.counters.opens += 1
+
+
+class BoundedIngressQueue:
+    """Bounded FIFO between the sockets and the protocol nodes.
+
+    ``push`` never blocks: on overflow the ``drop-oldest`` policy evicts
+    the head to admit the newcomer (freshest-data-wins, right for a
+    streaming protocol), ``reject`` refuses the newcomer.  Both paths
+    are counted, and ``high_water`` records the peak depth so a run can
+    prove its queues stayed bounded.
+    """
+
+    def __init__(self, capacity: int = 4096, policy: str = DROP_OLDEST) -> None:
+        require(capacity >= 1, "capacity must be >= 1")
+        require(policy in (DROP_OLDEST, REJECT), "policy must be drop-oldest or reject")
+        self.capacity = capacity
+        self.policy = policy
+        self._queue: Deque = deque()
+        self.accepted = 0
+        self.dropped_oldest = 0
+        self.rejected = 0
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, item) -> bool:
+        """Enqueue ``item``; False when rejected by the overflow policy."""
+        queue = self._queue
+        if len(queue) >= self.capacity:
+            if self.policy == REJECT:
+                self.rejected += 1
+                return False
+            queue.popleft()
+            self.dropped_oldest += 1
+        queue.append(item)
+        self.accepted += 1
+        depth = len(queue)
+        if depth > self.high_water:
+            self.high_water = depth
+        return True
+
+    def drain(self, max_items: int) -> List:
+        """Dequeue up to ``max_items`` entries in FIFO order."""
+        queue = self._queue
+        n = min(max_items, len(queue))
+        out = [queue.popleft() for _ in range(n)]
+        return out
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "depth": len(self._queue),
+            "high_water": self.high_water,
+            "accepted": self.accepted,
+            "dropped_oldest": self.dropped_oldest,
+            "rejected": self.rejected,
+        }
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tuning knobs of the live plane's resilience layer."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_failure_threshold: int = 2
+    breaker_reset_timeout: float = 0.4
+    ingress_capacity: int = 4096
+    ingress_policy: str = DROP_OLDEST
+    #: max messages delivered per pump batch before yielding the loop.
+    ingress_batch: int = 128
+    #: max frames queued per peer channel awaiting transmission.
+    egress_queue_limit: int = 512
+    #: max frames coalesced into one TCP write.
+    coalesce_frames: int = 64

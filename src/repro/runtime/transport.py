@@ -8,6 +8,29 @@ single-operator deployment tool (all endpoints are ours); a hostile
 deployment would swap in a schema codec — the message dataclasses are
 flat tuples of ints/bools, so that swap is mechanical.
 
+Resilience layer (see :mod:`repro.runtime.resilience`):
+
+* **Egress** — reliable sends go through one persistent
+  :class:`_PeerChannel` per destination: frames queue in a bounded
+  deque and a writer task coalesces them into single TCP writes over a
+  connection that is opened once and kept.  Connection establishment
+  retries with exponential backoff + jitter; a per-peer circuit breaker
+  (closed/open/half-open) fast-fails sends to a dead peer instead of
+  burning sockets and backoff sleeps on every attempt.
+* **Ingress** — decoded messages from both sockets land in one
+  :class:`~repro.runtime.resilience.BoundedIngressQueue`; a pump task
+  drains them in bounded batches into each node's
+  ``on_message_batch`` fast path (the same coalesced entry point the
+  simulator's calendar-queue drain uses), yielding to the event loop
+  between batches so a burst cannot starve timers.
+
+Scripted faults (:class:`~repro.runtime.faults.FaultPlane`) hook the
+send path — drops and slow links — while node crash/restart is a
+transport operation (:meth:`AsyncTransport.crash_node` really closes
+the sockets, so peers observe ECONNREFUSED/ICMP like they would in
+production, which is what exercises the breaker and the
+``datagram_errors`` counter).
+
 The :class:`NodeRegistry` is the bootstrap directory mapping node ids to
 socket addresses; it also implements expulsion (an expelled node's
 address is removed, so peers can no longer reach it and its own sends
@@ -19,10 +42,17 @@ from __future__ import annotations
 import asyncio
 import pickle
 import struct
-from typing import Callable, Dict, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.runtime.resilience import (
+    BoundedIngressQueue,
+    BreakerCounters,
+    CircuitBreaker,
+    ResilienceConfig,
+)
 from repro.util.validation import require
 
 NodeId = int
@@ -66,14 +96,122 @@ class NodeRegistry:
 
 
 class _DatagramProtocol(asyncio.DatagramProtocol):
-    def __init__(self, on_datagram: Callable[[bytes], None]) -> None:
+    def __init__(
+        self,
+        on_datagram: Callable[[bytes], None],
+        on_error: Callable[[Exception], None],
+    ) -> None:
         self._on_datagram = on_datagram
+        self._on_error = on_error
 
     def datagram_received(self, data: bytes, addr) -> None:  # noqa: D102
         self._on_datagram(data)
 
     def error_received(self, exc) -> None:  # noqa: D102
-        pass  # loopback ICMP errors are uninteresting
+        # ICMP errors (port unreachable after a peer crash) are the
+        # only cheap liveness signal UDP has — count them.
+        self._on_error(exc)
+
+
+class _PeerChannel:
+    """Persistent framed TCP egress to one destination node.
+
+    Frames queue in a bounded deque; a single writer task opens the
+    connection (retrying with the transport's backoff policy), coalesces
+    queued frames into one write, and reports outcomes to the per-peer
+    circuit breaker.  The channel is shared by every local node sending
+    to ``dst`` — the frame payload carries the source id.
+    """
+
+    def __init__(self, transport: "AsyncTransport", dst: NodeId) -> None:
+        self.transport = transport
+        self.dst = dst
+        res = transport.resilience
+        self.queue: Deque[bytes] = deque()
+        self.queue_limit = res.egress_queue_limit
+        self.coalesce = res.coalesce_frames
+        self.breaker = CircuitBreaker(
+            transport.clock,
+            failure_threshold=res.breaker_failure_threshold,
+            reset_timeout=res.breaker_reset_timeout,
+        )
+        self.event = asyncio.Event()
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.task: Optional[asyncio.Task] = None
+
+    def submit(self, frame: bytes) -> bool:
+        """Queue one length-prefixed frame; False when refused."""
+        if not self.breaker.allow():
+            return False
+        if len(self.queue) >= self.queue_limit:
+            return False
+        self.queue.append(frame)
+        self.event.set()
+        if self.task is None or self.task.done():
+            self.task = self.transport.loop.create_task(self._run())
+        return True
+
+    async def _run(self) -> None:
+        transport = self.transport
+        while not transport._closing:
+            if not self.queue:
+                self.event.clear()
+                await self.event.wait()
+                continue
+            if not await self._ensure_connection():
+                self.breaker.record_failure()
+                transport.frames_abandoned += len(self.queue)
+                self.queue.clear()
+                continue
+            chunks = []
+            while self.queue and len(chunks) < self.coalesce:
+                chunks.append(self.queue.popleft())
+            try:
+                self.writer.write(b"".join(chunks))
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                self.drop_connection()
+                self.breaker.record_failure()
+                transport.frames_abandoned += len(chunks)
+                continue
+            self.breaker.record_success()
+
+    async def _ensure_connection(self) -> bool:
+        if self.writer is not None and not self.writer.is_closing():
+            return True
+        transport = self.transport
+        address = transport.registry.tcp_address(self.dst)
+        if address is None:
+            return False
+        policy = transport.resilience.retry
+        for attempt in range(policy.max_attempts):
+            if self.dst in transport._crashed:
+                # The peer's server is down; fail fast so the breaker
+                # opens instead of sleeping through doomed connects.
+                transport.connect_failures += 1
+                return False
+            try:
+                _reader, writer = await asyncio.open_connection(*address)
+            except (ConnectionError, OSError):
+                transport.connect_failures += 1
+                if attempt + 1 < policy.max_attempts:
+                    await asyncio.sleep(policy.delay(attempt, transport.rng))
+                continue
+            self.writer = writer
+            return True
+        return False
+
+    def drop_connection(self) -> None:
+        """Discard the cached stream (next write reconnects)."""
+        if self.writer is not None:
+            self.writer.close()
+            self.writer = None
+
+    def close(self) -> None:
+        self.event.set()
+        if self.task is not None:
+            self.task.cancel()
+        self.drop_connection()
 
 
 class AsyncTransport:
@@ -93,6 +231,8 @@ class AsyncTransport:
         loss_rate: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         epoch: Optional[float] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_plane=None,
     ) -> None:
         require(0.0 <= loss_rate < 1.0, "loss_rate must be in [0, 1)")
         self.loop = loop
@@ -100,12 +240,32 @@ class AsyncTransport:
         self.loss_rate = loss_rate
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.epoch = loop.time() if epoch is None else epoch
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self.fault_plane = fault_plane
         self._endpoints: Dict[NodeId, asyncio.DatagramTransport] = {}
-        #: node -> (receiver callable, dispatch table or None)
-        self._receivers: Dict[NodeId, Tuple[Callable[[NodeId, object], None], Optional[dict]]] = {}
+        #: node -> (receiver callable, dispatch table or None, batch entry point or None)
+        self._receivers: Dict[NodeId, Tuple[Callable, Optional[dict], Optional[Callable]]] = {}
         self._servers: Dict[NodeId, asyncio.AbstractServer] = {}
+        self._server_conns: Dict[NodeId, Set[asyncio.StreamWriter]] = {}
+        self._serve_tasks: Set[asyncio.Task] = set()
+        self._channels: Dict[NodeId, _PeerChannel] = {}
+        self._crashed: Set[NodeId] = set()
+        self._closing = False
+        # ingress: one bounded queue feeding one pump task
+        self._ingress = BoundedIngressQueue(
+            capacity=self.resilience.ingress_capacity,
+            policy=self.resilience.ingress_policy,
+        )
+        self._ingress_event = asyncio.Event()
+        self._pump_task: Optional[asyncio.Task] = None
+        self._seq = 0
+        # counters
         self.datagrams_sent = 0
         self.datagrams_dropped = 0
+        self.datagram_errors = 0
+        self.sends_refused = 0
+        self.frames_abandoned = 0
+        self.connect_failures = 0
 
     # ------------------------------------------------------------------
     # the facade used by GossipNode
@@ -123,41 +283,68 @@ class AsyncTransport:
         return _PeriodicHandle(self.loop, interval, callback, first_delay, jitter)
 
     def send(self, src: NodeId, dst: NodeId, message: object, reliable: bool) -> bool:
-        """Ship one message; datagrams may be synthetically dropped."""
+        """Ship one message.
+
+        Return contract: ``True`` means the transport *accepted* the
+        message — it was handed to a socket, queued on a peer channel,
+        or deliberately discarded by synthetic loss / fault injection
+        (the network ate it; the sender did its part).  ``False`` means
+        the send was **refused** before any transmission was attempted —
+        unknown or expelled endpoint (including the sender itself),
+        crashed source or destination, missing socket, an open circuit
+        breaker, or a full egress queue — and ``sends_refused`` is
+        incremented exactly once per refusal.
+        """
         if not self.registry.is_connected(src) or not self.registry.is_connected(dst):
+            self.sends_refused += 1
             return False
+        if src in self._crashed:
+            # A crashed source has no sockets.  Sends *to* a crashed
+            # destination deliberately proceed: datagrams vanish like
+            # they would on a real network, and reliable frames hit the
+            # peer channel whose failing connects open the breaker.
+            self.sends_refused += 1
+            return False
+        extra = 0.0
+        if self.fault_plane is not None:
+            fate = self.fault_plane.on_send(self.clock(), src, dst, message)
+            if fate < 0.0:
+                return True  # injected drop: counted by the plane
+            extra = fate
         payload = pickle.dumps((src, message), protocol=pickle.HIGHEST_PROTOCOL)
         if not reliable:
             endpoint = self._endpoints.get(src)
             address = self.registry.udp_address(dst)
             if endpoint is None or address is None:
+                self.sends_refused += 1
                 return False
             self.datagrams_sent += 1
             if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
                 self.datagrams_dropped += 1
                 return True
-            endpoint.sendto(payload, address)
+            if extra > 0.0:
+                self.loop.call_later(extra, self._sendto_late, src, payload, address)
+            else:
+                endpoint.sendto(payload, address)
             return True
-        address = self.registry.tcp_address(dst)
-        if address is None:
+        channel = self._channels.get(dst)
+        if channel is None:
+            channel = _PeerChannel(self, dst)
+            self._channels[dst] = channel
+        frame = _LENGTH.pack(len(payload)) + payload
+        if extra > 0.0:
+            self.loop.call_later(extra, channel.submit, frame)
+            return True
+        if not channel.submit(frame):
+            self.sends_refused += 1
             return False
-        self.loop.create_task(self._send_stream(address, payload))
         return True
 
-    async def _send_stream(self, address: Address, payload: bytes) -> None:
-        try:
-            _reader, writer = await asyncio.open_connection(*address)
-        except OSError:
-            return
-        try:
-            writer.write(_LENGTH.pack(len(payload)) + payload)
-            await writer.drain()
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except OSError:
-                pass
+    def _sendto_late(self, src: NodeId, payload: bytes, address: Address) -> None:
+        """Transmit a fault-delayed datagram (unless the node crashed)."""
+        endpoint = self._endpoints.get(src)
+        if endpoint is not None:
+            endpoint.sendto(payload, address)
 
     # ------------------------------------------------------------------
     # endpoint lifecycle
@@ -169,33 +356,135 @@ class AsyncTransport:
 
         When ``receiver`` is a bound method of an endpoint that
         publishes a ``dispatch_table`` (``GossipNode.on_message`` does),
-        incoming messages jump straight to the type-keyed handler —
-        the same delivery fast path the simulated network uses, minus
-        one ``on_message`` frame per datagram.
+        incoming messages jump straight to the type-keyed handler; when
+        the owner also exposes ``on_message_batch``, the ingress pump
+        delivers whole same-destination runs through it — the same
+        coalesced fast path the simulated network uses.
         """
         owner = getattr(receiver, "__self__", None)
         table = getattr(owner, "dispatch_table", None)
-        self._receivers[node_id] = (receiver, table)
+        batch = getattr(owner, "on_message_batch", None)
+        self._receivers[node_id] = (receiver, table, batch)
+        await self._bind(node_id, ("127.0.0.1", 0), ("127.0.0.1", 0))
+        if self._pump_task is None:
+            self._pump_task = self.loop.create_task(self._pump())
+
+    async def _bind(self, node_id: NodeId, udp_addr: Address, tcp_addr: Address) -> None:
+        """Open both sockets (``port 0`` = ephemeral) and register them."""
         transport, _protocol = await self.loop.create_datagram_endpoint(
-            lambda: _DatagramProtocol(lambda data: self._dispatch(node_id, data)),
-            local_addr=("127.0.0.1", 0),
+            lambda: _DatagramProtocol(
+                lambda data: self._dispatch(node_id, data),
+                lambda exc: self._on_datagram_error(node_id, exc),
+            ),
+            local_addr=udp_addr,
         )
         self._endpoints[node_id] = transport
-        udp_addr = transport.get_extra_info("sockname")
+        bound_udp = transport.get_extra_info("sockname")
 
         server = await asyncio.start_server(
-            lambda r, w: self._serve_stream(node_id, r, w), "127.0.0.1", 0
+            lambda r, w: self._serve_stream(node_id, r, w), tcp_addr[0], tcp_addr[1]
         )
         self._servers[node_id] = server
-        tcp_addr = server.sockets[0].getsockname()
-        self.registry.register(node_id, udp_addr, tcp_addr)
+        bound_tcp = server.sockets[0].getsockname()
+        self.registry.register(node_id, bound_udp, bound_tcp)
 
-    def _deliver_local(self, node_id: NodeId, src: NodeId, message: object) -> None:
-        """Hand a decoded message to the node (UDP and TCP share this)."""
-        entry = self._receivers.get(node_id)
-        if entry is None:
-            return
-        receiver, table = entry
+    def crash_node(self, node_id: NodeId) -> None:
+        """Really tear the node's sockets down (fault injection).
+
+        Peers sending datagrams get ICMP port-unreachable back
+        (``datagram_errors`` on their shared endpoint protocol); TCP
+        connects fail with ECONNREFUSED, which is what opens the circuit
+        breaker.  The registry entry is kept so :meth:`restart_node` can
+        rebind on the same ports.
+        """
+        self._crashed.add(node_id)
+        endpoint = self._endpoints.pop(node_id, None)
+        if endpoint is not None:
+            endpoint.close()
+        server = self._servers.pop(node_id, None)
+        if server is not None:
+            server.close()
+        for writer in self._server_conns.pop(node_id, set()):
+            writer.close()
+        channel = self._channels.get(node_id)
+        if channel is not None:
+            channel.drop_connection()
+
+    async def restart_node(self, node_id: NodeId) -> None:
+        """Rebind a crashed node's sockets (same ports when possible)."""
+        udp_addr = self.registry.udp_address(node_id)
+        tcp_addr = self.registry.tcp_address(node_id)
+        if udp_addr is None or tcp_addr is None:
+            return  # expelled while down: stays down
+        try:
+            await self._bind(node_id, udp_addr, tcp_addr)
+        except OSError:
+            # Ports were taken while the node was down; take fresh ones
+            # and re-register (peers look addresses up per send).
+            await self._bind(node_id, ("127.0.0.1", 0), ("127.0.0.1", 0))
+        self._crashed.discard(node_id)
+
+    # ------------------------------------------------------------------
+    # ingress: sockets -> bounded queue -> pump -> nodes
+    # ------------------------------------------------------------------
+    def _on_datagram_error(self, node_id: NodeId, exc: Exception) -> None:
+        self.datagram_errors += 1
+
+    def _ingest(self, dst: NodeId, src: NodeId, message: object) -> None:
+        """Queue one decoded message for delivery by the pump."""
+        self._ingress.push((self.clock(), dst, src, message))
+        self._ingress_event.set()
+
+    async def _pump(self) -> None:
+        """Drain the ingress queue in bounded batches (load leveling).
+
+        Each iteration delivers at most ``ingress_batch`` messages and
+        then yields to the event loop, so a socket burst is levelled
+        instead of monopolising the loop; when the queue is empty the
+        pump parks on an event (no polling).
+        """
+        batch_size = self.resilience.ingress_batch
+        while not self._closing:
+            if len(self._ingress) == 0:
+                self._ingress_event.clear()
+                await self._ingress_event.wait()
+                continue
+            self._deliver_batch(self._ingress.drain(batch_size))
+            await asyncio.sleep(0)
+
+    def _deliver_batch(self, batch) -> None:
+        """Deliver drained entries, coalescing same-destination runs."""
+        i, n = 0, len(batch)
+        registry = self.registry
+        while i < n:
+            dst = batch[i][1]
+            j = i + 1
+            while j < n and batch[j][1] == dst:
+                j += 1
+            if not registry.is_connected(dst) or dst in self._crashed:
+                i = j
+                continue
+            entry = self._receivers.get(dst)
+            if entry is None:
+                i = j
+                continue
+            receiver, table, batch_fn = entry
+            if batch_fn is not None:
+                entries = []
+                for k in range(i, j):
+                    t, _dst, src, message = batch[k]
+                    entries.append([t, self._seq, src, dst, message])
+                    self._seq += 1
+                batch_fn(entries, 0, len(entries))
+            else:
+                for k in range(i, j):
+                    _t, _dst, src, message = batch[k]
+                    self._deliver_local(receiver, table, src, message)
+            i = j
+
+    @staticmethod
+    def _deliver_local(receiver, table, src: NodeId, message: object) -> None:
+        """Per-message fallback for receivers without a batch entry."""
         if table is not None:
             handler = table.get(message.__class__)
             if handler is not None:
@@ -204,40 +493,82 @@ class AsyncTransport:
         receiver(src, message)
 
     def _dispatch(self, node_id: NodeId, data: bytes) -> None:
-        if not self.registry.is_connected(node_id):
+        if not self.registry.is_connected(node_id) or node_id in self._crashed:
             return
         try:
             src, message = pickle.loads(data)
         except Exception:
             return  # malformed datagram: drop, as a real stack would
-        self._deliver_local(node_id, src, message)
+        self._ingest(node_id, src, message)
 
     async def _serve_stream(self, node_id: NodeId, reader, writer) -> None:
+        """Persistent inbound stream: read length-prefixed frames until EOF."""
+        conns = self._server_conns.setdefault(node_id, set())
+        conns.add(writer)
+        task = asyncio.current_task()
+        self._serve_tasks.add(task)
         try:
-            header = await reader.readexactly(_LENGTH.size)
-            (length,) = _LENGTH.unpack(header)
-            payload = await reader.readexactly(length)
-        except (asyncio.IncompleteReadError, OSError):
-            return
+            while True:
+                header = await reader.readexactly(_LENGTH.size)
+                (length,) = _LENGTH.unpack(header)
+                payload = await reader.readexactly(length)
+                if not self.registry.is_connected(node_id) or node_id in self._crashed:
+                    continue
+                try:
+                    src, message = pickle.loads(payload)
+                except Exception:
+                    continue
+                self._ingest(node_id, src, message)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
         finally:
+            conns.discard(writer)
+            self._serve_tasks.discard(task)
             writer.close()
-        if not self.registry.is_connected(node_id):
-            return
-        try:
-            src, message = pickle.loads(payload)
-        except Exception:
-            return
-        self._deliver_local(node_id, src, message)
+
+    # ------------------------------------------------------------------
+    # introspection & teardown
+    # ------------------------------------------------------------------
+    def resilience_snapshot(self) -> Dict[str, object]:
+        """JSON-safe state of the resilience layer (for reports/metrics)."""
+        breakers = BreakerCounters()
+        states: Dict[str, int] = {}
+        for channel in self._channels.values():
+            breakers.merge(channel.breaker.counters)
+            states[channel.breaker.state] = states.get(channel.breaker.state, 0) + 1
+        return {
+            "breaker": breakers.as_dict(),
+            "breaker_states": states,
+            "ingress": self._ingress.as_dict(),
+            "connect_failures": self.connect_failures,
+            "frames_abandoned": self.frames_abandoned,
+        }
 
     async def close(self) -> None:
-        """Tear down all endpoints."""
+        """Tear down all endpoints, channels and the pump."""
+        self._closing = True
+        self._ingress_event.set()
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+        for channel in self._channels.values():
+            channel.close()
         for transport in self._endpoints.values():
             transport.close()
+        for writers in self._server_conns.values():
+            for writer in writers:
+                writer.close()
         for server in self._servers.values():
             server.close()
             await server.wait_closed()
+        if self._serve_tasks:
+            # Closed writers give the stream handlers EOF; let them exit
+            # before the loop shuts down (avoids cancellation noise).
+            await asyncio.gather(*list(self._serve_tasks), return_exceptions=True)
         self._endpoints.clear()
         self._servers.clear()
+        self._server_conns.clear()
+        # _channels is kept: resilience_snapshot() reads breaker state
+        # after teardown (their writer tasks are cancelled above).
 
 
 class _PeriodicHandle:

@@ -336,6 +336,8 @@ def _live_metrics(report, params) -> dict:
         "false_positives": report.detection.false_positives,
         "datagrams_sent": report.datagrams_sent,
         "datagrams_dropped": report.datagrams_dropped,
+        "datagram_errors": report.datagram_errors,
+        "sends_refused": report.sends_refused,
         "freeriders": len(report.freerider_ids),
     }
 
@@ -370,3 +372,135 @@ def _live_render(run: RunResult) -> str:
 )
 def _live_scenario(params):
     return [Task(fn=_compute_live, args=(dict(params),), key="live")]
+
+
+# ----------------------------------------------------------------------
+# chaos — the live deployment under a scripted fault schedule
+# ----------------------------------------------------------------------
+
+def default_fault_schedule(n: int, duration: float, drop_rate: float):
+    """The acceptance-criteria fault script, scaled to ``duration``.
+
+    A targeted drop window on the dissemination plane (Serve/Propose),
+    one symmetric half/half partition, and two node crashes that both
+    restart before the end — enough to open circuit breakers, exercise
+    ICMP error counting and force the compensation machinery, while
+    leaving the run time to recover.
+    """
+    from repro.runtime.faults import FaultSchedule
+
+    half = n // 2
+    victims = (n - 1, n - 2)
+    return FaultSchedule.from_dicts(
+        [
+            {
+                "kind": "drop",
+                "at": 0.15 * duration,
+                "until": 0.85 * duration,
+                "classes": ["Serve", "Propose"],
+                "rate": drop_rate,
+            },
+            {
+                "kind": "partition",
+                "at": 0.30 * duration,
+                "until": 0.55 * duration,
+                "group_a": list(range(half)),
+                "group_b": list(range(half, n)),
+            },
+            {"kind": "crash", "at": 0.25 * duration, "nodes": [victims[0]]},
+            {"kind": "crash", "at": 0.35 * duration, "nodes": [victims[1]]},
+            {"kind": "restart", "at": 0.60 * duration, "nodes": [victims[0]]},
+            {"kind": "restart", "at": 0.70 * duration, "nodes": [victims[1]]},
+        ]
+    )
+
+
+def _compute_chaos(params: dict):
+    """One live run driven through the scripted fault schedule."""
+    import asyncio
+
+    from repro.config import FreeriderDegree
+    from repro.runtime import RuntimeCluster, RuntimeConfig
+
+    config = RuntimeConfig(
+        n=params["n"],
+        duration=params["duration"],
+        seed=params["seed"],
+        freerider_fraction=params["freeriders"],
+        freerider_degree=FreeriderDegree(*params["deltas"]),
+        p_audit=0.1,
+        expulsion_enabled=True,
+        fault_schedule=default_fault_schedule(
+            params["n"], params["duration"], params["drop_rate"]
+        ),
+        audit_log_path=params["audit_log"] or None,
+    )
+    return asyncio.run(RuntimeCluster(config).run())
+
+
+def _chaos_metrics(report, params) -> dict:
+    breaker = report.resilience.get("breaker", {})
+    ingress = report.resilience.get("ingress", {})
+    return {
+        "chunks_emitted": report.chunks_emitted,
+        "delivery_ratio": report.delivery_ratio,
+        "detection": report.detection.detection,
+        "false_positives": report.detection.false_positives,
+        "expelled": [int(n) for n in report.expelled],
+        "wrongful_expulsions": [int(n) for n in report.wrongful_expulsions],
+        "datagram_errors": report.datagram_errors,
+        "sends_refused": report.sends_refused,
+        "breaker_opens": breaker.get("opens", 0),
+        "breaker_closes": breaker.get("closes", 0),
+        "breaker_half_open_probes": breaker.get("half_open_probes", 0),
+        "ingress_high_water": ingress.get("high_water", 0),
+        "ingress_dropped": ingress.get("dropped_oldest", 0) + ingress.get("rejected", 0),
+        "faults": dict(report.faults),
+        "audit_ok": bool(report.audit_ok),
+        "audit_records": report.audit_records,
+    }
+
+
+def _chaos_render(run: RunResult) -> str:
+    report = run.artifact
+    breaker = report.resilience.get("breaker", {})
+    ingress = report.resilience.get("ingress", {})
+    return (
+        f"chunks: {report.chunks_emitted}, delivery {report.delivery_ratio:.1%} "
+        f"under faults {report.faults}\n"
+        f"breaker: opens {breaker.get('opens', 0)}, "
+        f"half-open probes {breaker.get('half_open_probes', 0)}, "
+        f"closes {breaker.get('closes', 0)}; "
+        f"ingress high-water {ingress.get('high_water', 0)}/{ingress.get('capacity', 0)}\n"
+        f"expelled {report.expelled} (wrongful {report.wrongful_expulsions}); "
+        f"audit chain {'ok' if report.audit_ok else 'TAMPERED'} "
+        f"({report.audit_records} records)\n"
+        f"{report.detection.summary()}"
+    )
+
+
+@scenario(
+    "chaos",
+    "Drive the live deployment through scripted faults (crashes, drops, partition)",
+    params=(
+        Param("n", int, 12, "live nodes", validate=lambda v: v >= 6,
+              constraint=">= 6"),
+        Param("seed", int, 7, "deployment seed"),
+        Param("duration", float, 6.0, "real (wall-clock) seconds",
+              validate=lambda v: v > 0, constraint="> 0"),
+        Param("freeriders", float, 0.2, "freerider fraction",
+              validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+        Param("deltas", float, (0.25, 0.3, 0.3), sequence=True,
+              help="(δ1, δ2, δ3) of the freeriders",
+              validate=lambda v: len(v) == 3, constraint="exactly 3 values"),
+        Param("drop_rate", float, 0.3, "targeted drop probability",
+              validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+        Param("audit_log", str, "", "JSONL path for the audit chain ('' = in-memory)"),
+    ),
+    summarize=_chaos_metrics,
+    render=_chaos_render,
+    tags=("live", "chaos"),
+    smoke={"n": 8, "duration": 3.0},
+)
+def _chaos_scenario(params):
+    return [Task(fn=_compute_chaos, args=(dict(params),), key="chaos")]

@@ -137,6 +137,7 @@ class Network:
         "_latency_inline",
         "_timeline",
         "_batch_runs",
+        "fault_plane",
     )
 
     def __init__(
@@ -181,6 +182,9 @@ class Network:
         # entries of an already-committed same-bucket run.
         self._timeline: Optional[DeliveryTimeline] = None
         self._batch_runs = False
+        #: optional scripted-fault hook (see ``attach_faults``); the send
+        #: loop pays one hoisted ``is not None`` check when absent.
+        self.fault_plane = None
         if use_timeline and sim._timeline is None and sim.now >= 0.0:
             window = getattr(self.latency, "delivery_window", None)
             min_delay, span = window() if window is not None else (0.0, 0.0)
@@ -233,6 +237,15 @@ class Network:
     def reconnect(self, node: NodeId) -> None:
         """Undo :meth:`disconnect` (used by churn experiments)."""
         self._disconnected.discard(node)
+
+    def attach_faults(self, plane) -> None:
+        """Install a :class:`~repro.runtime.faults.FaultPlane`.
+
+        Every subsequent send consults ``plane.on_send`` — injected
+        drops are accounted as lost in the trace, slow-link extra delay
+        is added on top of the latency sample.  Pass ``None`` to detach.
+        """
+        self.fault_plane = plane
 
     def is_connected(self, node: NodeId) -> bool:
         """True if ``node`` is registered and not expelled."""
@@ -324,6 +337,7 @@ class Network:
         deliver = self._deliver
         trace = self.trace
         lost_counts = None
+        fault = self.fault_plane
         # Per-fan-out hoists of the inlined model state: the source
         # loss factor is destination-independent, and the block lengths
         # only change on refill (always to SAMPLE_BLOCK) — this keeps
@@ -388,6 +402,17 @@ class Network:
                     lost_counts[cls] += 1
                     continue
 
+            if fault is not None:
+                # Scripted faults: a partition/targeted drop eats the
+                # message after the link was charged (it *was* sent);
+                # slow links add ``fate`` seconds to the arrival below.
+                fate = fault.on_send(now, src, dst, message)
+                if fate < 0.0:
+                    if lost_counts is None:
+                        lost_counts = trace._lost
+                    lost_counts[cls] += 1
+                    continue
+
             if latency_inline:  # UniformLatency.sample, verbatim
                 i = latency._next
                 if i >= lat_len:
@@ -402,6 +427,8 @@ class Network:
                 delay = latency.sample(src, dst)
             if not udp:
                 delay *= tcp_factor
+            if fault is not None and fate > 0.0:
+                delay += fate
             arrival = (departure if departure > now else now) + delay
             # Keeping Simulator.schedule's time validation as one
             # comparison: a buggy latency model returning a negative or

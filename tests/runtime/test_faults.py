@@ -1,0 +1,191 @@
+"""Tests for the scripted fault-injection plane (sim + schedule)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.faults import FaultEvent, FaultPlane, FaultSchedule
+
+
+class Serve:
+    pass
+
+
+class Propose:
+    pass
+
+
+def plane_for(*events, seed=0):
+    return FaultPlane(
+        FaultSchedule(events=tuple(events)), rng=np.random.default_rng(seed)
+    )
+
+
+class TestFaultEventValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="meteor", at=0.0)
+
+    def test_window_must_not_invert(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="drop", at=2.0, until=1.0)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="drop", at=0.0, rate=1.5)
+
+    def test_crash_needs_nodes(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="crash", at=0.0)
+
+    def test_partition_needs_both_groups(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="partition", at=0.0, group_a=(1,))
+
+
+class TestFaultSchedule:
+    def test_from_dicts_sorts_and_tuples(self):
+        schedule = FaultSchedule.from_dicts(
+            [
+                {"kind": "restart", "at": 2.0, "nodes": [3]},
+                {"kind": "crash", "at": 1.0, "nodes": [3]},
+                {"kind": "drop", "at": 0.5, "until": 1.5, "classes": ["Serve"]},
+            ]
+        )
+        assert [e.at for e in schedule.events] == [0.5, 1.0, 2.0]
+        assert schedule.events[0].classes == ("Serve",)
+        assert schedule.events[1].nodes == (3,)
+
+    def test_from_dicts_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            FaultSchedule.from_dicts([{"kind": "drop", "at": 0.0, "probability": 0.5}])
+
+    def test_event_partitioning(self):
+        schedule = FaultSchedule.from_dicts(
+            [
+                {"kind": "crash", "at": 1.0, "nodes": [0]},
+                {"kind": "restart", "at": 2.0, "nodes": [0]},
+                {"kind": "slow", "at": 0.0, "until": 3.0, "extra_delay": 0.1},
+            ]
+        )
+        assert [e.kind for e in schedule.lifecycle_events()] == ["crash", "restart"]
+        assert [e.kind for e in schedule.window_events()] == ["slow"]
+
+
+class TestFaultPlaneOnSend:
+    def test_symmetric_partition(self):
+        plane = plane_for(
+            FaultEvent(kind="partition", at=1.0, until=2.0, group_a=(0, 1), group_b=(2, 3))
+        )
+        assert plane.on_send(1.5, 0, 2, Serve()) == FaultPlane.DROP
+        assert plane.on_send(1.5, 3, 1, Serve()) == FaultPlane.DROP  # reverse severed too
+        assert plane.on_send(1.5, 0, 1, Serve()) == 0.0  # same side passes
+        assert plane.on_send(0.5, 0, 2, Serve()) == 0.0  # before the window
+        assert plane.on_send(2.0, 0, 2, Serve()) == 0.0  # window is half-open
+        assert plane.counters()["partition_drops"] == 2
+
+    def test_asymmetric_partition(self):
+        plane = plane_for(
+            FaultEvent(
+                kind="partition", at=0.0, until=5.0,
+                group_a=(0,), group_b=(1,), symmetric=False,
+            )
+        )
+        assert plane.on_send(1.0, 0, 1, Serve()) == FaultPlane.DROP
+        assert plane.on_send(1.0, 1, 0, Serve()) == 0.0  # b -> a still flows
+
+    def test_class_targeted_drop(self):
+        plane = plane_for(
+            FaultEvent(kind="drop", at=0.0, until=10.0, classes=("Serve",), rate=1.0)
+        )
+        assert plane.on_send(1.0, 0, 1, Serve()) == FaultPlane.DROP
+        assert plane.on_send(1.0, 0, 1, Propose()) == 0.0
+        assert plane.counters()["targeted_drops"] == 1
+
+    def test_endpoint_targeted_drop(self):
+        plane = plane_for(
+            FaultEvent(kind="drop", at=0.0, until=10.0, src_nodes=(5,), dst_nodes=(6,))
+        )
+        assert plane.on_send(1.0, 5, 6, Serve()) == FaultPlane.DROP
+        assert plane.on_send(1.0, 5, 7, Serve()) == 0.0
+        assert plane.on_send(1.0, 4, 6, Serve()) == 0.0
+
+    def test_probabilistic_drop_is_seed_deterministic(self):
+        def run(seed):
+            plane = plane_for(
+                FaultEvent(kind="drop", at=0.0, until=10.0, rate=0.3), seed=seed
+            )
+            return [plane.on_send(1.0, 0, 1, Serve()) for _ in range(200)]
+
+        fates = run(7)
+        assert fates == run(7)  # same stream, same fates
+        dropped = fates.count(FaultPlane.DROP)
+        assert 30 < dropped < 90  # ~60 expected at rate 0.3
+
+    def test_slow_links_stack(self):
+        plane = plane_for(
+            FaultEvent(kind="slow", at=0.0, until=10.0, extra_delay=0.1),
+            FaultEvent(kind="slow", at=0.0, until=10.0, extra_delay=0.05, src_nodes=(0,)),
+        )
+        assert plane.on_send(1.0, 0, 1, Serve()) == pytest.approx(0.15)
+        assert plane.on_send(1.0, 2, 1, Serve()) == pytest.approx(0.1)
+        assert plane.counters()["slowed_messages"] == 2
+
+    def test_partition_checked_before_drops(self):
+        plane = plane_for(
+            FaultEvent(kind="partition", at=0.0, until=10.0, group_a=(0,), group_b=(1,)),
+            FaultEvent(kind="drop", at=0.0, until=10.0, rate=1.0),
+        )
+        plane.on_send(1.0, 0, 1, Serve())
+        counters = plane.counters()
+        assert counters["partition_drops"] == 1
+        assert counters["targeted_drops"] == 0
+
+    def test_lifecycle_bookkeeping(self):
+        plane = plane_for(FaultEvent(kind="crash", at=0.0, nodes=(3,)))
+        plane.mark_crashed(3)
+        assert plane.counters()["crashed_now"] == 1
+        plane.mark_restarted(3)
+        assert plane.counters()["crashed_now"] == 0
+
+
+class TestSimClusterFaults:
+    def schedule(self):
+        return FaultSchedule.from_dicts(
+            [
+                {"kind": "drop", "at": 0.5, "until": 2.0, "rate": 0.3},
+                {"kind": "crash", "at": 0.8, "nodes": [23]},
+                {"kind": "restart", "at": 1.6, "nodes": [23]},
+            ]
+        )
+
+    def test_crash_restart_map_to_leave_rejoin(self, small_cluster_factory):
+        cluster = small_cluster_factory()
+        plane = cluster.attach_faults(self.schedule())
+        cluster.run(until=1.2)
+        assert not cluster.membership.contains(23)  # crashed mid-window
+        assert plane.counters()["crashed_now"] == 1
+        cluster.run(until=2.5)
+        assert cluster.membership.contains(23)  # restarted
+        assert plane.counters()["crashed_now"] == 0
+        assert plane.counters()["targeted_drops"] > 0
+
+    def test_fault_drops_count_as_network_loss(self, small_cluster_factory):
+        cluster = small_cluster_factory(loss_rate=0.0)
+        plane = cluster.attach_faults(
+            FaultSchedule.from_dicts([{"kind": "drop", "at": 0.0, "until": 3.0}])
+        )
+        cluster.run(until=1.0)
+        drops = plane.counters()["targeted_drops"]
+        assert drops > 0
+        assert cluster.trace.lost_count() >= drops
+
+    def test_faulted_run_is_deterministic(self, small_cluster_factory):
+        def run_once():
+            cluster = small_cluster_factory()
+            plane = cluster.attach_faults(self.schedule())
+            cluster.run(until=2.5)
+            return plane.counters(), cluster.scores()
+
+        first = run_once()
+        second = run_once()
+        assert first == second
