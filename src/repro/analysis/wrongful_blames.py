@@ -112,6 +112,36 @@ def expected_blame_apcc(history_periods: int, f: int, p_r: float) -> float:
     return (1.0 - p_r) * history_periods * f
 
 
+def expected_blame_silent(
+    f: int, request_size: int, p_r: float, periods: float, p_dcc: float = 1.0
+) -> float:
+    """Expected blame accrued by a node that is *silent* for ``periods``.
+
+    A crashed (or departed) node stops proposing and serving entirely —
+    the limiting freerider, ``δ = 1`` on every degree.  Every verifier
+    interaction it would have participated in now draws the full blame:
+    per period its ``f`` proposal slots each cost ``f`` (no proposal to
+    verify directly) and its ``f`` inspector slots each cost up to ``f``
+    cross-check blames, i.e. ``2 f²`` per period uncompensated, minus
+    the honest-node compensation ``b̃`` managers already apply.
+
+    This is the closed form behind blame *quarantine*: over a suspicion
+    window of ``w`` periods a crashed honest node would accrue roughly
+    ``w · (2 f² − b̃)`` net blame — far past ``η`` for any realistic
+    window — which is why blames against suspects are held back until
+    the suspicion resolves (refuted → discarded, confirmed dead and
+    silent → released).
+
+    >>> round(expected_blame_silent(12, 4, 0.93, 1.0), 2)
+    215.06
+    >>> expected_blame_silent(12, 4, 0.93, 0.0)
+    0.0
+    """
+    require(periods >= 0.0, "periods must be >= 0")
+    per_period = 2.0 * f * f - expected_blame_honest(f, request_size, p_r, p_dcc)
+    return periods * per_period
+
+
 def variance_blame_direct_verification(f: int, request_size: int, p_r: float) -> float:
     """Variance of the per-period direct-verification blame.
 

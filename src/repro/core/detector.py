@@ -65,7 +65,9 @@ class ExpulsionController:
         if self.enabled:
             self.network.disconnect(target)
             for sampler in self.samplers:
-                sampler.remove(target)
+                # Record the expulsion in the lifecycle ledger (rejoin
+                # refused permanently), not just a plain removal.
+                sampler.mark_expelled(target)
         if self.on_expel is not None:
             self.on_expel(record)
         return True

@@ -81,7 +81,15 @@ class ManagerAssignment:
 
 @dataclass
 class ManagerRecord:
-    """One manager's copy of one node's reputation state."""
+    """One manager's copy of one node's reputation state.
+
+    ``suspected`` flips while the failure detector suspects the target:
+    incoming blames are then diverted into the quarantine buffer
+    (``quarantined_total`` / ``quarantined_events``) instead of the
+    score, and the record is excluded from expulsion voting.  The
+    buffer is folded into the score if the node is confirmed dead
+    (silence is freerider-compatible) and discarded on refutation.
+    """
 
     target: NodeId
     joined_at: float
@@ -90,6 +98,9 @@ class ManagerRecord:
     voted_expel: bool = False
     expel_votes: Set[NodeId] = field(default_factory=set)
     expelled: bool = False
+    suspected: bool = False
+    quarantined_total: float = 0.0
+    quarantined_events: int = 0
 
 
 def compensation_per_period(gossip: GossipParams, lifting: LiftingParams) -> float:
@@ -146,6 +157,10 @@ class ReputationManager:
         #: optional tamper-evident trail (:class:`repro.core.auditlog.AuditLog`);
         #: when set, expulsion votes and quorum decisions are chained.
         self.audit_log = None
+        # Quarantine outcome counters (scenario metrics read these).
+        self.quarantines_started = 0
+        self.quarantines_discarded = 0
+        self.quarantines_released = 0
 
     # ------------------------------------------------------------------
     # blame handling
@@ -155,6 +170,10 @@ class ReputationManager:
         record = self.records.get(target)
         if record is None:
             return  # not a manager of this node; drop silently
+        if record.suspected:
+            record.quarantined_total += value
+            record.quarantined_events += 1
+            return
         record.blame_total += value
         record.blame_events += 1
 
@@ -166,6 +185,10 @@ class ReputationManager:
         """
         record = self.records.get(message.target)
         if record is None:
+            return
+        if record.suspected:
+            record.quarantined_total += message.value
+            record.quarantined_events += 1
             return
         record.blame_total += message.value
         record.blame_events += 1
@@ -181,6 +204,10 @@ class ReputationManager:
         for target, value in zip(targets, values):
             record = records.get(target)
             if record is None:
+                continue
+            if record.suspected:
+                record.quarantined_total += value
+                record.quarantined_events += 1
                 continue
             record.blame_total += value
             record.blame_events += 1
@@ -203,8 +230,95 @@ class ReputationManager:
             record = records.get(message.target)
             if record is None:
                 continue
+            if record.suspected:
+                record.quarantined_total += message.value
+                record.quarantined_events += 1
+                continue
             record.blame_total += message.value
             record.blame_events += 1
+
+    # ------------------------------------------------------------------
+    # churn-aware blame quarantine (see membership.failure_detector)
+    # ------------------------------------------------------------------
+    def quarantine_target(self, target: NodeId) -> bool:
+        """Start diverting blames against ``target`` into quarantine.
+
+        Called when the local failure detector suspects the target: a
+        silent node accrues blames exactly like a freerider, so holding
+        them back is what protects an honest crash from wrongful
+        expulsion.  Idempotent; False when not a manager of ``target``.
+        """
+        record = self.records.get(target)
+        if record is None or record.suspected or record.expelled:
+            return False
+        record.suspected = True
+        self.quarantines_started += 1
+        if self.audit_log is not None:
+            self.audit_log.append(
+                "blame_quarantine",
+                ts=self.now(),
+                manager=int(self.owner),
+                target=int(target),
+            )
+        return True
+
+    def discard_quarantine(self, target: NodeId) -> bool:
+        """The target refuted the suspicion: drop the held blames.
+
+        The node was alive-but-slow (or partitioned); punishing it for
+        the silent window would be exactly the wrongful blame Eq. (5)
+        compensates for, so the buffer is discarded.
+        """
+        record = self.records.get(target)
+        if record is None or not record.suspected:
+            return False
+        record.suspected = False
+        dropped_total = record.quarantined_total
+        dropped_events = record.quarantined_events
+        record.quarantined_total = 0.0
+        record.quarantined_events = 0
+        self.quarantines_discarded += 1
+        if self.audit_log is not None:
+            self.audit_log.append(
+                "quarantine_discard",
+                ts=self.now(),
+                manager=int(self.owner),
+                target=int(target),
+                dropped_total=float(dropped_total),
+                dropped_events=int(dropped_events),
+            )
+        return True
+
+    def release_quarantine(self, target: NodeId) -> bool:
+        """The target was confirmed dead-then-silent: fold the held
+        blames into its score.
+
+        Persistent silence is freerider-compatible (a freerider that
+        simply stops serving looks identical), so the blames count — if
+        the node later rejoins with a bumped incarnation it starts from
+        this score under the young-node audit rule.
+        """
+        record = self.records.get(target)
+        if record is None or not record.suspected:
+            return False
+        record.suspected = False
+        released_total = record.quarantined_total
+        released_events = record.quarantined_events
+        record.blame_total += released_total
+        record.blame_events += released_events
+        record.quarantined_total = 0.0
+        record.quarantined_events = 0
+        self.quarantines_released += 1
+        if self.audit_log is not None:
+            self.audit_log.append(
+                "quarantine_release",
+                ts=self.now(),
+                manager=int(self.owner),
+                target=int(target),
+                released_total=float(released_total),
+                released_events=int(released_events),
+            )
+        return True
 
     def periods_elapsed(self, record: ManagerRecord) -> float:
         """``r`` — gossip periods the target has spent in the system."""
@@ -240,7 +354,7 @@ class ReputationManager:
         eta = self.lifting.eta
         compensation = self.compensation
         for target, record in self.records.items():
-            if record.voted_expel or record.expelled:
+            if record.voted_expel or record.expelled or record.suspected:
                 continue
             r = (now - record.joined_at) / period
             if r < 1e-9:

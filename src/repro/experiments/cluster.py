@@ -26,6 +26,11 @@ from repro.core.detector import ExpulsionController
 from repro.core.reputation import ManagerAssignment, ScoreBoard, compensation_per_period
 from repro.gossip.chunks import StreamSource
 from repro.gossip.protocol import GossipNode, SimTransport
+from repro.membership.failure_detector import (
+    ChurnMonitor,
+    FailureDetectorParams,
+    apply_membership_event,
+)
 from repro.membership.full import FullMembership
 from repro.metrics.health import HealthReport, health_curve
 from repro.metrics.overhead import OverheadReport, bandwidth_overhead
@@ -88,6 +93,12 @@ class ClusterConfig:
     #: probability that a node starts a sporadic local-history audit of
     #: a random peer each gossip period (§5: "run sporadically").
     p_audit: float = 0.0
+    #: SWIM-style failure detection (None = off, the legacy behaviour:
+    #: crashes are oracle-removed from membership).  When set, crashes
+    #: go *undetected* until peers suspect and confirm them, suspects'
+    #: blames are quarantined, and restarts rejoin with a bumped
+    #: incarnation — see membership/failure_detector.py.
+    failure_detector: Optional[FailureDetectorParams] = None
 
     def __post_init__(self) -> None:
         require_probability(self.freerider_fraction, "freerider_fraction")
@@ -148,6 +159,11 @@ class SimCluster:
             if config.compensation is None
             else config.compensation
         )
+        self.churn_monitor: Optional[ChurnMonitor] = (
+            ChurnMonitor(clock=lambda: self.sim.now)
+            if config.failure_detector is not None
+            else None
+        )
 
         # --- source -----------------------------------------------------
         self.source = StreamSource(self.sim, self.network, self.membership, gossip)
@@ -173,6 +189,12 @@ class SimCluster:
                 chunk_created_at=self.source.created_times.__getitem__,
                 on_expel_quorum=self._on_expel_quorum,
                 p_audit=config.p_audit,
+                detector=config.failure_detector,
+                on_membership_event=(
+                    self._on_membership_event
+                    if config.failure_detector is not None
+                    else None
+                ),
             )
             self.nodes[node_id] = node
             upload = config.upload_rate if config.upload_rate is not None else math.inf
@@ -273,24 +295,70 @@ class SimCluster:
     # ------------------------------------------------------------------
     # churn
     # ------------------------------------------------------------------
-    def leave(self, node_id: NodeId) -> None:
-        """A node departs voluntarily: stop its loop and deregister it.
+    def _on_membership_event(
+        self, reporter: NodeId, node: NodeId, status: str, incarnation: int
+    ) -> None:
+        """A node-local detector transition; fold it into the shared
+        directory (the in-process stand-in for everyone applying the
+        same disseminated update)."""
+        # The callback is in-process, so it would happily carry verdicts
+        # from nodes the network can no longer hear: an expelled node's
+        # probes all time out and it "suspects" the whole cluster.  Only
+        # connected members get a say.
+        if self.controller.is_expelled(reporter) or not self.network.is_connected(
+            reporter
+        ):
+            return
+        apply_membership_event(
+            self.membership, self.churn_monitor, reporter, node, status, incarnation
+        )
+
+    def leave(self, node_id: NodeId) -> bool:
+        """A node departs gracefully: announce, stop, deregister.
 
         Unlike expulsion this is not recorded as a sanction; other nodes
-        simply stop sampling it.
+        simply stop sampling it.  Returns False (and does nothing) when
+        the node is already gone — a double leave is a no-op.
         """
+        if not self.membership.contains(node_id):
+            return False
         node = self.nodes[node_id]
+        if node.failure_detector is not None:
+            node.failure_detector.announce_leave()
         node.stop()
         self.network.disconnect(node_id)
-        self.membership.remove(node_id)
+        self.membership.mark_left(node_id)
+        if self.churn_monitor is not None:
+            self.churn_monitor.on_left(node_id)
+        return True
 
-    def rejoin(self, node_id: NodeId) -> None:
+    def rejoin(self, node_id: NodeId) -> bool:
         """A departed node comes back (fresh gossip state, same score
         record — the paper's absolute scores make returning nodes
-        comparable to incumbents, §6.2)."""
+        comparable to incumbents, §6.2).
+
+        Refused (returns False) for expelled nodes: expulsion is
+        permanent, enforced by the membership lifecycle ledger.
+        """
+        if self.controller.is_expelled(node_id):
+            if self.churn_monitor is not None:
+                self.churn_monitor.on_rejoin_refused(node_id)
+            return False
+        node = self.nodes[node_id]
+        incarnation = 0
+        if node.failure_detector is not None:
+            # start() below bumps the incarnation; register the bumped
+            # value so stale suspicions cannot instantly re-evict.
+            incarnation = node.failure_detector.incarnation + 1
+        if not self.membership.readmit(node_id, incarnation):
+            return False
         self.network.reconnect(node_id)
-        self.membership.add(node_id)
-        self.nodes[node_id].start()
+        if node.failure_detector is not None:
+            node.reset_gossip_state()
+        node.start()
+        if self.churn_monitor is not None:
+            self.churn_monitor.on_rejoined(node_id)
+        return True
 
     # ------------------------------------------------------------------
     # fault injection
@@ -323,11 +391,41 @@ class SimCluster:
         return plane
 
     def _crash(self, node_id: NodeId, plane) -> None:
+        if self.churn_monitor is not None:
+            # Silent failure: the node stops and its sockets die, but the
+            # shared directory is NOT told — peers must *detect* the
+            # crash (ping timeouts → suspicion → confirmation).  A crash
+            # of an already-left node only flips the fault-plane flag.
+            if self.network.is_connected(node_id):
+                self.nodes[node_id].stop()
+                self.network.disconnect(node_id)
+                self.churn_monitor.on_crashed(node_id)
+            plane.mark_crashed(node_id)
+            return
         if self.membership.contains(node_id):
             self.leave(node_id)
         plane.mark_crashed(node_id)
 
     def _restart(self, node_id: NodeId, plane) -> None:
+        if self.churn_monitor is not None:
+            if self.controller.is_expelled(node_id):
+                self.churn_monitor.on_rejoin_refused(node_id)
+                return
+            if self.network.is_connected(node_id):
+                plane.mark_restarted(node_id)
+                return  # never crashed; nothing to restart
+            node = self.nodes[node_id]
+            self.network.reconnect(node_id)
+            if not self.membership.contains(node_id):
+                # Confirmed dead while down: readmit under the bumped
+                # incarnation (the young-node audit rule covers the
+                # fresh history).
+                self.membership.readmit(node_id, node.failure_detector.incarnation + 1)
+            node.reset_gossip_state()
+            node.start()
+            self.churn_monitor.on_restarted(node_id)
+            plane.mark_restarted(node_id)
+            return
         if not self.membership.contains(node_id):
             self.rejoin(node_id)
         plane.mark_restarted(node_id)
@@ -339,3 +437,41 @@ class SimCluster:
             if node.auditor is not None:
                 out.extend(node.auditor.results)
         return out
+
+    def churn_summary(self) -> Dict[str, object]:
+        """Cluster-level churn/detector metrics (empty without a
+        failure detector): the monitor's transition counters and
+        convergence delays plus the aggregated quarantine outcome."""
+        if self.churn_monitor is None:
+            return {}
+        summary = self.churn_monitor.summary()
+        quarantines = 0
+        started = discarded = released = 0
+        quarantined_events = 0
+        for node in self.nodes.values():
+            manager = node.manager
+            if manager is None:
+                continue
+            started += manager.quarantines_started
+            discarded += manager.quarantines_discarded
+            released += manager.quarantines_released
+            for record in manager.records.values():
+                if record.suspected:
+                    quarantines += 1
+                quarantined_events += record.quarantined_events
+        detectors = [
+            node.failure_detector
+            for node in self.nodes.values()
+            if node.failure_detector is not None
+        ]
+        summary["suspected_now"] = len(self.membership.suspected_nodes())
+        summary["quarantines_started"] = started
+        summary["quarantines_discarded"] = discarded
+        summary["quarantines_released"] = released
+        summary["records_in_quarantine"] = quarantines
+        summary["quarantined_events_pending"] = quarantined_events
+        summary["probes_sent"] = sum(d.probes_sent for d in detectors)
+        summary["indirect_probes"] = sum(d.indirect_probes for d in detectors)
+        summary["local_suspicions"] = sum(d.suspicions_raised for d in detectors)
+        summary["local_refutations"] = sum(d.refutations_sent for d in detectors)
+        return summary

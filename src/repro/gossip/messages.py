@@ -17,8 +17,12 @@ from repro.wire import (
     ExpelVote,
     HistoryPollRequest,
     HistoryPollResponse,
+    MembershipUpdate,
     NODE_ID_BYTES,
     PERIOD_BYTES,
+    Ping,
+    PingAck,
+    PingReq,
     PROPOSAL_ID_BYTES,
     Propose,
     Request,
@@ -43,8 +47,12 @@ __all__ = [
     "ExpelVote",
     "HistoryPollRequest",
     "HistoryPollResponse",
+    "MembershipUpdate",
     "NODE_ID_BYTES",
     "PERIOD_BYTES",
+    "Ping",
+    "PingAck",
+    "PingReq",
     "PROPOSAL_ID_BYTES",
     "Propose",
     "Request",

@@ -37,6 +37,10 @@ from repro.gossip.messages import (
     ExpelVote,
     HistoryPollRequest,
     HistoryPollResponse,
+    MembershipUpdate,
+    Ping,
+    PingAck,
+    PingReq,
     Propose,
     Request,
     ScoreQuery,
@@ -44,6 +48,8 @@ from repro.gossip.messages import (
     Serve,
     WIRE_MESSAGE_CLASSES,
 )
+from repro.membership.base import STATUS_ALIVE, STATUS_DEAD, STATUS_SUSPECT
+from repro.membership.failure_detector import FailureDetectorParams, SwimFailureDetector
 from repro.nodes.behavior import Behavior
 from repro.sim.engine import Simulator
 from repro.sim.engine import _PENDING  # heap-entry status word
@@ -130,6 +136,8 @@ class GossipNode:
         on_expel_quorum: Optional[Callable[[NodeId, str], None]] = None,
         start_time: float = 0.0,
         p_audit: float = 0.0,
+        detector: Optional[FailureDetectorParams] = None,
+        on_membership_event: Optional[Callable[[NodeId, NodeId, str, int], None]] = None,
     ) -> None:
         require(node_id >= 0, "node ids must be non-negative (SOURCE_ID=-1 is reserved)")
         self.node_id = node_id
@@ -200,6 +208,15 @@ class GossipNode:
             from repro.core.audit import AuditScheduler
 
             self.audit_scheduler = AuditScheduler(self, p_audit=p_audit)
+        #: cluster-level callback for detector transitions; called as
+        #: ``(reporter, node, status, incarnation)`` after the local
+        #: blame-quarantine routing.
+        self.on_membership_event = on_membership_event
+        self.failure_detector: Optional[SwimFailureDetector] = None
+        if detector is not None:
+            self.failure_detector = SwimFailureDetector(
+                self, detector, on_change=self._on_detector_event
+            )
         self._dispatch = self._build_dispatch()
         #: public alias the network uses to deliver straight to handlers
         #: (must not be mutated after the node registers).
@@ -241,6 +258,12 @@ class GossipNode:
         if self.auditor is not None:
             table[AuditResponse] = self.auditor.on_audit_response
             table[HistoryPollResponse] = self.auditor.on_poll_response
+        if self.failure_detector is not None:
+            detector = self.failure_detector
+            table[Ping] = detector.on_ping
+            table[PingAck] = detector.on_ping_ack
+            table[PingReq] = detector.on_ping_req
+            table[MembershipUpdate] = detector.on_membership_update
         # Pre-seed the remaining wire classes with None so delivery-side
         # lookups are plain subscripts that hit for every protocol
         # message; an absent component still drops its messages.
@@ -332,11 +355,32 @@ class GossipNode:
             first_delay=offset,
             jitter=jitter,
         )
+        if self.failure_detector is not None:
+            self.failure_detector.start()
 
     def stop(self) -> None:
         """Stop the periodic loop (node leaves / experiment teardown)."""
         if self._timer is not None:
             self._timer.stop()
+        if self.failure_detector is not None:
+            self.failure_detector.stop()
+
+    def reset_gossip_state(self) -> None:
+        """Drop in-flight protocol state after a crash, before rejoining.
+
+        The history restarts empty, which is exactly the young-node
+        situation the audit layer already tolerates (short histories are
+        not auto-guilty) — the rejoining node re-earns its record under
+        its bumped incarnation.
+        """
+        self.history = LocalHistory(max_periods=self.lifting.history_periods + 2)
+        self._history_open = False
+        self._fresh.clear()
+        self._pending_chunks.clear()
+        self._sent_proposals.clear()
+        self._offers.clear()
+        self._naked_requests.clear()
+        self._blame_outbox.clear()
 
     # ------------------------------------------------------------------
     # the gossip period
@@ -352,6 +396,16 @@ class GossipNode:
         self._run_manager_duties()
         if self.audit_scheduler is not None:
             self.audit_scheduler.on_period_tick()
+        detector = self.failure_detector
+        if detector is not None:
+            detector.on_period_tick()
+            # Updates the probe did not carry ride the gossip fan-out
+            # (SWIM's piggyback dissemination, zero extra round trips).
+            updates = detector.drain_updates()
+            if updates:
+                partners = self.sampler.sample(self.node_id, self.gossip.fanout)
+                if partners:
+                    self.send_many(partners, MembershipUpdate(updates=updates))
         if self.period % self.behavior.period_stride() != 0:
             return
         self._propose_phase()
@@ -435,6 +489,27 @@ class GossipNode:
     def _expel_quorum_reached(self, target: NodeId) -> None:
         if self.on_expel_quorum is not None:
             self.on_expel_quorum(self.node_id, target, "score")
+
+    def _on_detector_event(self, node: NodeId, status: str, incarnation: int) -> None:
+        """A local failure-detector transition for ``node``.
+
+        Routes the churn signal into the blame pipeline first — suspects
+        get their blames quarantined, refuted suspects get them
+        discarded, confirmed-dead nodes get them released (silence is
+        freerider-compatible) — then forwards to the cluster-level
+        handler that maintains the shared membership directory.
+        """
+        manager = self.manager
+        if manager is not None:
+            if status == STATUS_SUSPECT:
+                manager.quarantine_target(node)
+            elif status == STATUS_ALIVE:
+                manager.discard_quarantine(node)
+            elif status == STATUS_DEAD:
+                manager.release_quarantine(node)
+        callback = self.on_membership_event
+        if callback is not None:
+            callback(self.node_id, node, status, incarnation)
 
     # ------------------------------------------------------------------
     # message dispatch

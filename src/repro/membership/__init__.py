@@ -13,8 +13,34 @@ sampling protocol [13, 18]".  We provide both:
   which the ablation benchmark measures.
 """
 
-from repro.membership.base import PeerSampler
+from repro.membership.base import (
+    PeerSampler,
+    STATUS_ALIVE,
+    STATUS_DEAD,
+    STATUS_EXPELLED,
+    STATUS_LEFT,
+    STATUS_SUSPECT,
+)
+from repro.membership.failure_detector import (
+    ChurnMonitor,
+    FailureDetectorParams,
+    SwimFailureDetector,
+    apply_membership_event,
+)
 from repro.membership.full import FullMembership
 from repro.membership.rps import GossipPeerSampling
 
-__all__ = ["FullMembership", "GossipPeerSampling", "PeerSampler"]
+__all__ = [
+    "ChurnMonitor",
+    "FailureDetectorParams",
+    "FullMembership",
+    "GossipPeerSampling",
+    "PeerSampler",
+    "STATUS_ALIVE",
+    "STATUS_DEAD",
+    "STATUS_EXPELLED",
+    "STATUS_LEFT",
+    "STATUS_SUSPECT",
+    "SwimFailureDetector",
+    "apply_membership_event",
+]

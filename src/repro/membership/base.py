@@ -3,9 +3,26 @@
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 NodeId = int
+
+#: Node lifecycle states (see docs/RESILIENCE.md, "Membership & suspicion").
+#:
+#: ``alive``     — full member, sampled normally.
+#: ``suspect``   — a failure detector raised suspicion; the node *stays
+#:                 sampleable* (so a refutation can reach it) but is
+#:                 flagged, and blames against it are quarantined.
+#: ``dead``      — suspicion expired unrefuted; evicted from sampling.
+#:                 May rejoin with a bumped incarnation.
+#: ``left``      — graceful departure; evicted, may rejoin.
+#: ``expelled``  — removed by the LiFTinG expulsion quorum; rejoin is
+#:                 refused permanently.
+STATUS_ALIVE = "alive"
+STATUS_SUSPECT = "suspect"
+STATUS_DEAD = "dead"
+STATUS_LEFT = "left"
+STATUS_EXPELLED = "expelled"
 
 
 class PeerSampler(abc.ABC):
@@ -14,6 +31,12 @@ class PeerSampler(abc.ABC):
     The gossip node calls :meth:`sample` once per gossip period to get
     its ``f`` propose partners.  Samples must never contain the caller
     itself, must be duplicate-free, and must exclude expelled nodes.
+
+    On top of the sampling contract the base class keeps a small
+    lifecycle ledger (status + incarnation per node, lazily created so
+    subclass constructors need no cooperation).  Only *deviations* from
+    ``alive`` are stored: a node with no entry is alive iff it is
+    eligible for sampling.
     """
 
     @abc.abstractmethod
@@ -33,5 +56,117 @@ class PeerSampler(abc.ABC):
         """The nodes currently eligible for sampling."""
 
     def contains(self, node: NodeId) -> bool:
-        """Whether ``node`` is currently eligible."""
-        return node in set(self.alive_nodes())
+        """Whether ``node`` is currently eligible.
+
+        Subclasses override this with an O(1) membership test against
+        their own index; the fallback scans ``alive_nodes()`` without
+        materialising a throwaway set.
+        """
+        return node in self.alive_nodes()
+
+    # ------------------------------------------------------------------
+    # lifecycle ledger
+    # ------------------------------------------------------------------
+    def _status_map(self) -> Dict[NodeId, str]:
+        statuses = getattr(self, "_statuses", None)
+        if statuses is None:
+            statuses = self._statuses = {}
+        return statuses
+
+    def _incarnation_map(self) -> Dict[NodeId, int]:
+        incarnations = getattr(self, "_incarnations", None)
+        if incarnations is None:
+            incarnations = self._incarnations = {}
+        return incarnations
+
+    def status_of(self, node: NodeId) -> str:
+        """The lifecycle state of ``node``."""
+        status = self._status_map().get(node)
+        if status is not None:
+            return status
+        return STATUS_ALIVE if self.contains(node) else STATUS_DEAD
+
+    def is_suspected(self, node: NodeId) -> bool:
+        return self._status_map().get(node) == STATUS_SUSPECT
+
+    def suspected_nodes(self) -> List[NodeId]:
+        """Nodes currently flagged suspect (still sampleable)."""
+        return [n for n, s in self._status_map().items() if s == STATUS_SUSPECT]
+
+    def mark_suspect(self, node: NodeId) -> bool:
+        """Flag ``node`` as suspected; it stays sampleable.
+
+        Returns False when the node is not eligible (already evicted)
+        or already suspected.
+        """
+        statuses = self._status_map()
+        if statuses.get(node) is not None or not self.contains(node):
+            return False
+        statuses[node] = STATUS_SUSPECT
+        return True
+
+    def clear_suspect(self, node: NodeId) -> bool:
+        """Drop the suspect flag (the node refuted the suspicion)."""
+        statuses = self._status_map()
+        if statuses.get(node) != STATUS_SUSPECT:
+            return False
+        del statuses[node]
+        return True
+
+    def mark_dead(self, node: NodeId) -> bool:
+        """Evict ``node`` as confirmed dead (suspicion expired)."""
+        statuses = self._status_map()
+        if statuses.get(node) in (STATUS_DEAD, STATUS_LEFT, STATUS_EXPELLED):
+            return False
+        statuses[node] = STATUS_DEAD
+        self.remove(node)
+        return True
+
+    def mark_left(self, node: NodeId) -> bool:
+        """Evict ``node`` after a graceful departure."""
+        statuses = self._status_map()
+        if statuses.get(node) in (STATUS_DEAD, STATUS_LEFT, STATUS_EXPELLED):
+            return False
+        statuses[node] = STATUS_LEFT
+        self.remove(node)
+        return True
+
+    def mark_expelled(self, node: NodeId) -> None:
+        """Evict ``node`` permanently (LiFTinG expulsion quorum)."""
+        self._status_map()[node] = STATUS_EXPELLED
+        self.remove(node)
+
+    def readmit(self, node: NodeId, incarnation: int = 0) -> bool:
+        """Bring a dead/left node back into the sampling pool.
+
+        Refused for expelled nodes — expulsion is permanent.  The
+        caller supplies the node's bumped incarnation so stale
+        suspicions cannot immediately re-evict it.
+        """
+        statuses = self._status_map()
+        if statuses.get(node) == STATUS_EXPELLED:
+            return False
+        if not self._readmit(node):
+            return False
+        statuses.pop(node, None)
+        incarnations = self._incarnation_map()
+        if incarnation > incarnations.get(node, 0):
+            incarnations[node] = incarnation
+        return True
+
+    def _readmit(self, node: NodeId) -> bool:
+        """Subclass hook: make ``node`` sampleable again.
+
+        Returns False when the node cannot be readmitted (e.g. it was
+        never known to a decentralised sampler).
+        """
+        raise NotImplementedError
+
+    def incarnation_of(self, node: NodeId) -> int:
+        return self._incarnation_map().get(node, 0)
+
+    def note_incarnation(self, node: NodeId, incarnation: int) -> None:
+        """Record the highest incarnation seen for ``node``."""
+        incarnations = self._incarnation_map()
+        if incarnation > incarnations.get(node, 0):
+            incarnations[node] = incarnation

@@ -55,6 +55,10 @@ class FullMembership(PeerSampler):
     def contains(self, node: NodeId) -> bool:
         return node in self._index
 
+    def _readmit(self, node: NodeId) -> bool:
+        self.add(node)
+        return True
+
     def __len__(self) -> int:
         return len(self._nodes)
 

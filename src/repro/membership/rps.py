@@ -345,6 +345,19 @@ class GossipPeerSampling(PeerSampler):
             if self.vectorized:
                 self._alive_rows[self._row[node]] = False
 
+    def contains(self, node: NodeId) -> bool:
+        return self._alive.get(node, False)
+
+    def _readmit(self, node: NodeId) -> bool:
+        # A decentralised service only knows nodes it has bootstrapped;
+        # strangers must join through the tracker, not via readmit.
+        if node not in self._alive:
+            return False
+        self._alive[node] = True
+        if self.vectorized:
+            self._alive_rows[self._row[node]] = True
+        return True
+
     def alive_nodes(self) -> Sequence[NodeId]:
         return tuple(n for n in self._nodes if self._alive[n])
 

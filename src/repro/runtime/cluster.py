@@ -38,6 +38,11 @@ from repro.core.auditlog import AuditLog
 from repro.core.reputation import ManagerAssignment, ScoreBoard
 from repro.gossip.chunks import SOURCE_ID, Chunk
 from repro.gossip.protocol import GossipNode
+from repro.membership.failure_detector import (
+    ChurnMonitor,
+    FailureDetectorParams,
+    apply_membership_event,
+)
 from repro.membership.full import FullMembership
 from repro.metrics.scores import DetectionReport, detection_report
 from repro.nodes.behavior import HonestBehavior
@@ -82,6 +87,9 @@ class RuntimeConfig:
     audit_log_path: Optional[str] = None
     #: seed of the audit log's HMAC key.
     audit_key_seed: str = "lifting-audit"
+    #: SWIM-style failure detection (None = off).  Timeouts are in
+    #: gossip-period units, so the sim-calibrated defaults transfer.
+    failure_detector: Optional[FailureDetectorParams] = None
 
 
 @dataclass
@@ -108,6 +116,9 @@ class RuntimeReport:
     #: outcome of verifying the audit chain after the run.
     audit_ok: Optional[bool] = None
     audit_records: int = 0
+    #: churn/detector transition counters and convergence delays
+    #: (empty without a failure detector).
+    membership: Dict[str, object] = field(default_factory=dict)
 
 
 class RuntimeCluster:
@@ -138,6 +149,9 @@ class RuntimeCluster:
         self.freerider_ids: Set[NodeId] = set()
         self.audit_log: Optional[AuditLog] = None
         self.expelled: List[NodeId] = []
+        self._monitor: Optional[ChurnMonitor] = None
+        self._membership = None
+        self._expelled_set: Set[NodeId] = set()
 
     async def run(self) -> RuntimeReport:
         """Execute the deployment for ``config.duration`` real seconds."""
@@ -175,7 +189,13 @@ class RuntimeCluster:
         membership = FullMembership(seeds.generator("membership"), node_ids)
         assignment = ManagerAssignment(node_ids, self.lifting.managers, seeds.seed("mgr"))
 
-        expelled_set: Set[NodeId] = set()
+        monitor: Optional[ChurnMonitor] = None
+        if config.failure_detector is not None:
+            monitor = ChurnMonitor(clock=transport.clock)
+        self._monitor = monitor
+        self._membership = membership
+        self._expelled_set: Set[NodeId] = set()
+        expelled_set = self._expelled_set
 
         def on_expel_quorum(manager_id: NodeId, target: NodeId, reason: str) -> None:
             log.append(
@@ -186,7 +206,18 @@ class RuntimeCluster:
             expelled_set.add(target)
             self.expelled.append(target)
             registry.expel(target)
-            membership.remove(target)
+            membership.mark_expelled(target)
+
+        def on_membership_event(
+            reporter: NodeId, node: NodeId, status: str, incarnation: int
+        ) -> None:
+            # In-process callback: shun verdicts from expelled nodes —
+            # on the wire nobody would hear them.
+            if reporter in expelled_set:
+                return
+            apply_membership_event(
+                membership, monitor, reporter, node, status, incarnation, audit_log=log
+            )
 
         for node_id in node_ids:
             behavior = (
@@ -206,6 +237,10 @@ class RuntimeCluster:
                 chunk_created_at=self._created_at,
                 on_expel_quorum=on_expel_quorum,
                 p_audit=config.p_audit,
+                detector=config.failure_detector,
+                on_membership_event=(
+                    on_membership_event if config.failure_detector is not None else None
+                ),
             )
             if node.manager is not None:
                 node.manager.audit_log = log
@@ -287,11 +322,30 @@ class RuntimeCluster:
                     node.stop()
                     transport.crash_node(node_id)
                     plane.mark_crashed(node_id)
+                    if self._monitor is not None:
+                        self._monitor.on_crashed(node_id)
                     log.append("fault", event="crash", node=int(node_id))
                 else:
+                    if node_id in self._expelled_set:
+                        # Expulsion outlives the crash: the quorum's
+                        # verdict bars the node from rebinding.
+                        if self._monitor is not None:
+                            self._monitor.on_rejoin_refused(node_id)
+                        log.append(
+                            "fault", event="restart_refused", node=int(node_id)
+                        )
+                        continue
                     await transport.restart_node(node_id)
                     plane.mark_restarted(node_id)
+                    if self.config.failure_detector is not None:
+                        if not self._membership.contains(node_id):
+                            self._membership.readmit(
+                                node_id, node.failure_detector.incarnation + 1
+                            )
+                        node.reset_gossip_state()
                     node.start()
+                    if self._monitor is not None:
+                        self._monitor.on_restarted(node_id)
                     log.append("fault", event="restart", node=int(node_id))
 
     async def _probe_crashed(
@@ -343,6 +397,40 @@ class RuntimeCluster:
                 "expelled": [int(n) for n in self.expelled],
             }
         )
+        membership_stats: Dict[str, object] = {}
+        if self._monitor is not None:
+            membership_stats = self._monitor.summary()
+            quarantines = {"started": 0, "discarded": 0, "released": 0}
+            pending_records = pending_events = 0
+            probes = indirect = local_susp = local_refut = 0
+            for node in self.nodes.values():
+                manager = node.manager
+                if manager is not None:
+                    quarantines["started"] += manager.quarantines_started
+                    quarantines["discarded"] += manager.quarantines_discarded
+                    quarantines["released"] += manager.quarantines_released
+                    for record in manager.records.values():
+                        if record.suspected:
+                            pending_records += 1
+                        pending_events += record.quarantined_events
+                detector = node.failure_detector
+                if detector is not None:
+                    probes += detector.probes_sent
+                    indirect += detector.indirect_probes
+                    local_susp += detector.suspicions_raised
+                    local_refut += detector.refutations_sent
+            membership_stats.update(
+                quarantines_started=quarantines["started"],
+                quarantines_discarded=quarantines["discarded"],
+                quarantines_released=quarantines["released"],
+                records_in_quarantine=pending_records,
+                quarantined_events_pending=pending_events,
+                suspected_now=len(self._membership.suspected_nodes()),
+                probes_sent=probes,
+                indirect_probes=indirect,
+                local_suspicions=local_susp,
+                local_refutations=local_refut,
+            )
         chain = log.verify_all()
         log.close()
         return RuntimeReport(
@@ -363,4 +451,5 @@ class RuntimeCluster:
             ],
             audit_ok=chain.ok,
             audit_records=chain.length,
+            membership=membership_stats,
         )

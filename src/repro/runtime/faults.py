@@ -109,6 +109,44 @@ class FaultSchedule:
             events.append(FaultEvent(**kwargs))
         return cls(events=tuple(sorted(events, key=lambda e: e.at)))
 
+    @classmethod
+    def churn(
+        cls,
+        nodes: Iterable[NodeId],
+        duration: float,
+        downtime: float,
+        *,
+        start_frac: float = 0.2,
+        end_frac: float = 0.8,
+        permanent_frac: float = 0.0,
+    ) -> "FaultSchedule":
+        """Scripted crash/restart churn over ``nodes``.
+
+        Each node crashes once, the crash instants staggered evenly
+        across ``[start_frac, end_frac]`` of the run (deterministic — no
+        RNG — so churn scenarios are reproducible from parameters
+        alone), and restarts ``downtime`` seconds later.  The last
+        ``permanent_frac`` of the victims never restart, and restarts
+        that would land inside the final 5% of the run are dropped: a
+        node that stays down exercises the confirmed-dead path.
+        """
+        require(duration > 0.0, "duration must be > 0")
+        require(downtime > 0.0, "downtime must be > 0")
+        require(0.0 <= start_frac < end_frac <= 1.0, "need 0 <= start_frac < end_frac <= 1")
+        require(0.0 <= permanent_frac <= 1.0, "permanent_frac must be in [0, 1]")
+        victims = list(nodes)
+        n_permanent = int(round(permanent_frac * len(victims)))
+        events: List[FaultEvent] = []
+        span = (end_frac - start_frac) * duration
+        cutoff = 0.95 * duration
+        for i, node in enumerate(victims):
+            at = duration * start_frac + span * (i / max(1, len(victims)))
+            events.append(FaultEvent(kind="crash", at=at, nodes=(node,)))
+            back = at + downtime
+            if i < len(victims) - n_permanent and back < cutoff:
+                events.append(FaultEvent(kind="restart", at=back, nodes=(node,)))
+        return cls(events=tuple(sorted(events, key=lambda e: e.at)))
+
     def lifecycle_events(self) -> Tuple[FaultEvent, ...]:
         """The crash/restart instants, in time order."""
         return tuple(e for e in self.events if e.kind in ("crash", "restart"))

@@ -504,3 +504,166 @@ def _chaos_render(run: RunResult) -> str:
 )
 def _chaos_scenario(params):
     return [Task(fn=_compute_chaos, args=(dict(params),), key="chaos")]
+
+
+# ----------------------------------------------------------------------
+# churn — SWIM membership under scripted crash/restart churn (simulator)
+# ----------------------------------------------------------------------
+
+def _compute_churn(params: dict) -> Dict[str, object]:
+    """One simulated deployment at one churn rate (module-level so the
+    sweep can fan out to a process pool)."""
+    from dataclasses import replace
+
+    from repro.config import FreeriderDegree, planetlab_params
+    from repro.experiments.cluster import ClusterConfig, SimCluster
+    from repro.membership.failure_detector import FailureDetectorParams
+    from repro.runtime.faults import FaultSchedule
+
+    rate = params["rate"]
+    gossip, lifting = planetlab_params()
+    gossip = replace(gossip, n=params["n"], chunk_size=1400)
+    lifting = replace(lifting, assumed_loss_rate=params["loss"])
+    cluster = SimCluster(
+        ClusterConfig(
+            gossip=gossip,
+            lifting=lifting,
+            seed=params["seed"],
+            loss_rate=params["loss"],
+            freerider_fraction=params["freeriders"],
+            freerider_degree=FreeriderDegree.uniform(params["delta"]),
+            expulsion_enabled=True,
+            failure_detector=FailureDetectorParams(
+                suspicion_periods=params["suspicion"]
+            ),
+        )
+    )
+    # Churn hits honest nodes only: freeriders keep answering pings (the
+    # cheapest traffic there is), so the detector must never shield them
+    # while protecting crash-restarting contributors.
+    honest = sorted(cluster.honest_ids)
+    victims = honest[: int(round(rate * len(honest)))]
+    if victims:
+        cluster.attach_faults(
+            FaultSchedule.churn(
+                victims,
+                params["duration"],
+                params["downtime"],
+                permanent_frac=params["permanent"],
+            )
+        )
+    cluster.run(until=params["duration"])
+    expelled = sorted(cluster.controller.expelled_nodes())
+    wrongful = sorted(n for n in expelled if n not in cluster.freerider_ids)
+    summary = cluster.churn_summary()
+    summary.update(
+        rate=rate,
+        victims=len(victims),
+        expelled=[int(n) for n in expelled],
+        wrongful_expulsions=[int(n) for n in wrongful],
+        wrongful_expulsion_rate=(
+            len(wrongful) / len(honest) if honest else 0.0
+        ),
+        freeriders_expelled=sum(
+            1 for n in expelled if n in cluster.freerider_ids
+        ),
+        freeriders=len(cluster.freerider_ids),
+    )
+    return summary
+
+
+def _churn_reduce(results, params) -> Dict[str, object]:
+    return {"sweep": list(results)}
+
+
+def _churn_metrics(artifact, params) -> dict:
+    sweep = artifact["sweep"]
+    detect = [e["mean_detection_delay"] for e in sweep
+              if e.get("mean_detection_delay") is not None]
+    recover = [e["mean_recovery_delay"] for e in sweep
+               if e.get("mean_recovery_delay") is not None]
+    return {
+        "rates": [e["rate"] for e in sweep],
+        "wrongful_expulsion_rate": {
+            f"{e['rate']:g}": e["wrongful_expulsion_rate"] for e in sweep
+        },
+        "freeriders_expelled": {
+            f"{e['rate']:g}": e["freeriders_expelled"] for e in sweep
+        },
+        "max_wrongful_expulsion_rate": max(
+            (e["wrongful_expulsion_rate"] for e in sweep), default=0.0
+        ),
+        #: membership convergence: crash -> confirmed-dead and
+        #: restart -> readmission, averaged over the whole sweep.
+        "mean_detection_delay": sum(detect) / len(detect) if detect else None,
+        "mean_recovery_delay": sum(recover) / len(recover) if recover else None,
+        "sweep": [dict(e) for e in sweep],
+    }
+
+
+def _churn_render(run: RunResult) -> str:
+    lines = [
+        "rate   victims  susp  refut  dead  wrongful  fr-expelled"
+    ]
+    for e in run.artifact["sweep"]:
+        lines.append(
+            f"{e['rate']:4.2f} {e['victims']:8d} {e['suspicions']:5d} "
+            f"{e['refutations']:6d} {e['confirmed_dead']:5d} "
+            f"{e['wrongful_expulsion_rate']:9.1%} "
+            f"{e['freeriders_expelled']:6d}/{e['freeriders']}"
+        )
+    m = run.metrics
+    detect = m["mean_detection_delay"]
+    recover = m["mean_recovery_delay"]
+    lines.append(
+        "convergence: detection "
+        + (f"{detect:.2f}s" if detect is not None else "n/a")
+        + ", recovery "
+        + (f"{recover:.2f}s" if recover is not None else "n/a")
+    )
+    return "\n".join(lines)
+
+
+@scenario(
+    "churn",
+    "Sweep crash/restart churn rates: wrongful expulsions vs membership convergence",
+    params=(
+        Param("n", int, 60, "system size", validate=lambda v: v >= 12,
+              constraint=">= 12"),
+        Param("seed", int, 3, "experiment seed"),
+        Param("duration", float, 30.0, "simulated seconds",
+              validate=lambda v: v > 0, constraint="> 0"),
+        Param("loss", float, 0.04, "datagram loss rate",
+              validate=lambda v: 0.0 <= v < 1.0, constraint="in [0, 1)"),
+        Param("freeriders", float, 0.15, "freerider fraction",
+              validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+        Param("delta", float, 0.25, "uniform freeriding degree"),
+        Param("rates", float, (0.1, 0.3, 0.5), sequence=True,
+              help="fractions of honest nodes that crash once"),
+        Param("downtime", float, 2.0, "seconds a crashed node stays down",
+              validate=lambda v: v > 0, constraint="> 0"),
+        Param("permanent", float, 0.25,
+              "fraction of victims that never restart (confirmed-dead path)",
+              validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+        Param("suspicion", float, 8.0,
+              "suspicion window (gossip periods) before confirm-dead",
+              validate=lambda v: v > 0, constraint="> 0"),
+        Param("jobs", int, 1, "worker processes for the sweep",
+              validate=lambda v: v >= 1, constraint=">= 1"),
+    ),
+    reduce=_churn_reduce,
+    summarize=_churn_metrics,
+    render=_churn_render,
+    tags=("robustness", "membership"),
+    smoke={"n": 24, "duration": 8.0, "rates": (0.3,)},
+    sim_time=lambda params: params["duration"] * len(params["rates"]),
+)
+def _churn_scenario(params):
+    return [
+        Task(
+            fn=_compute_churn,
+            args=({**dict(params), "rate": rate},),
+            key=f"churn-{rate:g}",
+        )
+        for rate in params["rates"]
+    ]

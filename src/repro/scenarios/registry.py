@@ -212,6 +212,8 @@ def run_scenario(name: str, **overrides: Any) -> RunResult:
             f"needs a summarize() to produce the metrics payload"
         )
     seed = params.get("seed")
+    from repro.util.provenance import collect_provenance
+
     return RunResult(
         scenario=name,
         params=params,
@@ -219,5 +221,6 @@ def run_scenario(name: str, **overrides: Any) -> RunResult:
         seed=seed if isinstance(seed, int) and not isinstance(seed, bool) else None,
         sim_seconds=spec.resolved_sim_seconds(params),
         wall_seconds=wall,
+        provenance=collect_provenance(),
         artifact=artifact,
     )

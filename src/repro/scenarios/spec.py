@@ -258,6 +258,10 @@ class RunResult:
     sim_seconds: Optional[float] = None
     wall_seconds: float = 0.0
     schema: str = RUN_RESULT_SCHEMA
+    #: who/where/what produced this result (git revision, host
+    #: fingerprint — see :mod:`repro.util.provenance`); empty for
+    #: envelopes predating the field.
+    provenance: Mapping[str, Any] = field(default_factory=dict)
     artifact: Any = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -266,6 +270,11 @@ class RunResult:
         )
         object.__setattr__(
             self, "metrics", _canonical(self.metrics, where=f"{self.scenario} metrics")
+        )
+        object.__setattr__(
+            self,
+            "provenance",
+            _canonical(self.provenance, where=f"{self.scenario} provenance"),
         )
 
     # -- serialisation -------------------------------------------------
@@ -278,6 +287,7 @@ class RunResult:
             "seed": self.seed,
             "sim_seconds": self.sim_seconds,
             "wall_seconds": self.wall_seconds,
+            "provenance": self.provenance,
             "metrics": self.metrics,
         }
         return json.dumps(payload, indent=indent, allow_nan=True)
@@ -302,6 +312,8 @@ class RunResult:
             sim_seconds=payload.get("sim_seconds"),
             wall_seconds=payload.get("wall_seconds", 0.0),
             schema=schema,
+            # Envelopes written before the field existed stay loadable.
+            provenance=payload.get("provenance", {}),
         )
 
     @classmethod

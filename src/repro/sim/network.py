@@ -135,6 +135,7 @@ class Network:
         "_receivers",
         "_loss_inline",
         "_latency_inline",
+        "_deliver_cb",
         "_timeline",
         "_batch_runs",
         "fault_plane",
@@ -162,6 +163,10 @@ class Network:
         # bit-identical either way.
         self._loss_inline = type(self.loss) is PerNodeLoss
         self._latency_inline = type(self.latency) is UniformLatency
+        # The one bound delivery callback every heap entry carries —
+        # a stable identity lets :meth:`_purge_in_flight` recognise
+        # this network's deliveries in the simulator queue.
+        self._deliver_cb = self._deliver
         self._endpoints: Dict[NodeId, Endpoint] = {}
         self._links: Dict[NodeId, UploadLink] = {}
         self._disconnected: set = set()
@@ -235,8 +240,63 @@ class Network:
         self._disconnected.add(node)
 
     def reconnect(self, node: NodeId) -> None:
-        """Undo :meth:`disconnect` (used by churn experiments)."""
+        """Undo :meth:`disconnect` (used by churn experiments).
+
+        In-flight messages addressed to the node are purged first: they
+        were sent to the *previous* process and sat in buffers the crash
+        destroyed.  Without the purge, a delivery delayed past the whole
+        outage (e.g. by a scripted slow-link fault) would be handed to
+        the restarted process as if nothing had happened.
+        """
+        if node in self._disconnected:
+            self._purge_in_flight(node)
         self._disconnected.discard(node)
+
+    def _purge_in_flight(self, node: NodeId) -> int:
+        """Drop queued deliveries addressed to ``node``; returns count.
+
+        Sends *to* a disconnected node are refused at the source, so
+        everything found here was already in flight when the node went
+        down.  Purged messages are accounted as lost in the trace, same
+        as a datagram dropped on the wire.
+        """
+        lost = self.trace._lost
+        dropped = 0
+        tl = self._timeline
+        if tl is not None:
+            cur, pos = tl.cur, tl.cur_pos
+            if pos < len(cur):
+                kept = [e for e in cur[pos:] if e[3] != node]
+                removed = (len(cur) - pos) - len(kept)
+                if removed:
+                    for e in cur[pos:]:
+                        if e[3] == node:
+                            lost[e[4].__class__] += 1
+                    cur[pos:] = kept
+                    dropped += removed
+            for bucket in tl._ring:
+                if not bucket:
+                    continue
+                kept = [e for e in bucket if e[3] != node]
+                removed = len(bucket) - len(kept)
+                if removed:
+                    for e in bucket:
+                        if e[3] == node:
+                            lost[e[4].__class__] += 1
+                    # In place: bucket identity is aliased by the
+                    # timeline's occupied-index heap bookkeeping.
+                    bucket[:] = kept
+                    dropped += removed
+            tl.count -= dropped
+            self.sim._live -= dropped
+        deliver = self._deliver_cb
+        for entry in self.sim._queue:
+            # [time, seq, callback, args, status]; 0 == pending.
+            if entry[4] == 0 and entry[2] is deliver and entry[3][1] == node:
+                lost[entry[3][2].__class__] += 1
+                self.sim.cancel_entry(entry)
+                dropped += 1
+        return dropped
 
     def attach_faults(self, plane) -> None:
         """Install a :class:`~repro.runtime.faults.FaultPlane`.
@@ -334,7 +394,7 @@ class Network:
         udp = transport is _UDP
         tcp_factor = self.tcp_latency_factor
         queue = sim._queue
-        deliver = self._deliver
+        deliver = self._deliver_cb
         trace = self.trace
         lost_counts = None
         fault = self.fault_plane

@@ -1,0 +1,72 @@
+"""Where did this result come from?
+
+Every :class:`~repro.scenarios.spec.RunResult` is stamped with a small
+provenance record — the git revision the code ran at, whether the tree
+was dirty, and a machine fingerprint — so that archived envelopes and
+benchmark baselines can be traced back to the exact code and host that
+produced them.  Collection is best-effort: outside a git checkout the
+revision reads ``"unknown"`` rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+import subprocess
+import sys
+from typing import Dict, Optional
+
+__all__ = ["collect_provenance"]
+
+_CACHE: Optional[Dict[str, object]] = None
+
+
+def _git(*args: str) -> Optional[str]:
+    """One git plumbing call against the source tree, or None."""
+    try:
+        out = subprocess.run(
+            ("git", *args),
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            timeout=5.0,
+            text=True,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def collect_provenance() -> Dict[str, object]:
+    """The provenance record for results produced by this process.
+
+    Cached after the first call — one subprocess round-trip per process,
+    not per scenario run.  Returns a copy; callers may augment it.
+    """
+    global _CACHE
+    if _CACHE is None:
+        rev = _git("rev-parse", "HEAD") or "unknown"
+        status = _git("status", "--porcelain")
+        node = platform.node() or "unknown"
+        machine = {
+            "hostname": node,
+            "system": platform.system(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        }
+        # A short stable host fingerprint: lets baseline comparisons say
+        # "same machine?" without archiving raw hostnames forever.
+        digest = hashlib.sha256(
+            "|".join(
+                (node, platform.system(), platform.machine(), sys.platform)
+            ).encode("utf-8")
+        ).hexdigest()
+        _CACHE = {
+            "git_revision": rev,
+            "git_dirty": bool(status) if status is not None else None,
+            "fingerprint": digest[:12],
+            **machine,
+        }
+    return dict(_CACHE)

@@ -307,6 +307,90 @@ class HistoryPollResponse:
         )
 
 
+# ----------------------------------------------------------------------
+# SWIM-style failure detection (membership plane)
+# ----------------------------------------------------------------------
+#: A piggybacked membership update is ``(rank, node, incarnation)`` —
+#: 1-byte status rank, node address, 4-byte incarnation counter.
+UPDATE_BYTES = 1 + NODE_ID_BYTES + 4
+
+Update = Tuple[int, NodeId, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    """Direct liveness probe; carries the prober's incarnation plus a
+    bounded batch of piggybacked membership updates."""
+
+    CATEGORY = CATEGORY_CONTROL
+
+    seq: int
+    incarnation: int
+    updates: Tuple[Update, ...]
+
+    def wire_size(self) -> int:
+        return UDP_HEADER + TYPE_TAG + 4 + 4 + UPDATE_BYTES * len(self.updates)
+
+
+@dataclass(frozen=True, slots=True)
+class PingAck:
+    """Answer to a :class:`Ping`; ``target`` names the node vouched for
+    (itself on a direct ack, the probed node on a relayed one)."""
+
+    CATEGORY = CATEGORY_CONTROL
+
+    seq: int
+    target: NodeId
+    incarnation: int
+    updates: Tuple[Update, ...]
+
+    def wire_size(self) -> int:
+        return (
+            UDP_HEADER
+            + TYPE_TAG
+            + 4
+            + NODE_ID_BYTES
+            + 4
+            + UPDATE_BYTES * len(self.updates)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PingReq:
+    """Indirect probe: ask a proxy to ping ``target`` on our behalf
+    (SWIM's ping-req, defeating path asymmetry and local loss)."""
+
+    CATEGORY = CATEGORY_CONTROL
+
+    seq: int
+    target: NodeId
+    incarnation: int
+    updates: Tuple[Update, ...]
+
+    def wire_size(self) -> int:
+        return (
+            UDP_HEADER
+            + TYPE_TAG
+            + 4
+            + NODE_ID_BYTES
+            + 4
+            + UPDATE_BYTES * len(self.updates)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipUpdate:
+    """Pure dissemination rider: membership updates piggybacked on the
+    propose fan-out when there is no probe to carry them."""
+
+    CATEGORY = CATEGORY_CONTROL
+
+    updates: Tuple[Update, ...]
+
+    def wire_size(self) -> int:
+        return UDP_HEADER + TYPE_TAG + UPDATE_BYTES * len(self.updates)
+
+
 #: Every wire message class, in declaration order.  The protocol node
 #: pre-seeds its dispatch table with all of them (absent handlers map to
 #: ``None``) so the network's delivery drain resolves handlers with a
@@ -326,4 +410,8 @@ WIRE_MESSAGE_CLASSES = (
     AuditResponse,
     HistoryPollRequest,
     HistoryPollResponse,
+    Ping,
+    PingAck,
+    PingReq,
+    MembershipUpdate,
 )

@@ -8,6 +8,7 @@ from repro.analysis.wrongful_blames import (
     expected_blame_cross_checking,
     expected_blame_direct_verification,
     expected_blame_honest,
+    expected_blame_silent,
     variance_blame_direct_verification,
 )
 
@@ -115,3 +116,23 @@ class TestVarianceDV:
         assert variance_blame_direct_verification(f, big_r, p_r) == pytest.approx(
             float(np.var(blame)), rel=0.03
         )
+
+
+class TestSilentNode:
+    def test_closed_form(self):
+        # One silent period costs 2f² gross minus the honest compensation.
+        f, big_r, p_r = 12, 4, 0.93
+        per_period = 2.0 * f * f - expected_blame_honest(f, big_r, p_r)
+        assert expected_blame_silent(f, big_r, p_r, 3.0) == pytest.approx(3 * per_period)
+
+    def test_scales_linearly_in_periods(self):
+        one = expected_blame_silent(12, 4, 0.93, 1.0)
+        assert expected_blame_silent(12, 4, 0.93, 8.0) == pytest.approx(8 * one)
+        assert expected_blame_silent(12, 4, 0.93, 0.0) == 0.0
+
+    def test_suspicion_window_blame_dwarfs_eta(self):
+        # The quarantine rationale: 8 silent periods of uncompensated
+        # blame sit far past η = -9.75 — without quarantine an honest
+        # crash would be expelled on the spot.
+        window_blame = expected_blame_silent(12, 4, 0.93, 8.0)
+        assert window_blame > 100 * 9.75

@@ -185,8 +185,13 @@ class TestDispatchTable:
             wire.ConfirmResponse, wire.Blame, wire.ExpelVote, wire.ScoreQuery,
             wire.ScoreReply, wire.AuditRequest, wire.AuditResponse,
             wire.HistoryPollRequest, wire.HistoryPollResponse,
+            wire.Ping, wire.PingAck, wire.PingReq, wire.MembershipUpdate,
         }
         assert set(node._dispatch.keys()) == expected
+        # SWIM messages are only handled when a failure detector is
+        # configured; without one they pre-seed to the drop path.
+        for cls in (wire.Ping, wire.PingAck, wire.PingReq, wire.MembershipUpdate):
+            assert node._dispatch[cls] is None
 
 
 class TestOfferPruning:

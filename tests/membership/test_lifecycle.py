@@ -1,0 +1,102 @@
+"""The membership lifecycle ledger: alive/suspect/dead/left/expelled."""
+
+import pytest
+
+from repro.membership.base import (
+    STATUS_ALIVE,
+    STATUS_DEAD,
+    STATUS_EXPELLED,
+    STATUS_LEFT,
+    STATUS_SUSPECT,
+)
+from repro.membership.full import FullMembership
+from repro.membership.rps import GossipPeerSampling
+
+
+@pytest.fixture(params=["full", "rps"])
+def sampler(request, rng):
+    if request.param == "full":
+        return FullMembership(rng, range(8))
+    return GossipPeerSampling(rng, range(8), view_size=4)
+
+
+class TestStatuses:
+    def test_members_default_alive(self, sampler):
+        assert sampler.status_of(3) == STATUS_ALIVE
+        assert not sampler.is_suspected(3)
+
+    def test_strangers_read_dead(self, sampler):
+        assert sampler.status_of(999) == STATUS_DEAD
+
+    def test_suspect_keeps_node_sampleable(self, sampler):
+        assert sampler.mark_suspect(3)
+        assert sampler.status_of(3) == STATUS_SUSPECT
+        assert sampler.contains(3)
+        assert 3 in sampler.suspected_nodes()
+        # Still a directory member (an RPS caller's view is a partial
+        # sample, so assert on the directory, not on one node's draws).
+        assert 3 in sampler.alive_nodes()
+
+    def test_suspect_requires_membership(self, sampler):
+        assert not sampler.mark_suspect(999)
+
+    def test_clear_suspect_only_clears_suspects(self, sampler):
+        assert not sampler.clear_suspect(3)  # alive, nothing to clear
+        sampler.mark_suspect(3)
+        assert sampler.clear_suspect(3)
+        assert sampler.status_of(3) == STATUS_ALIVE
+
+    def test_dead_evicts(self, sampler):
+        assert sampler.mark_dead(3)
+        assert sampler.status_of(3) == STATUS_DEAD
+        assert not sampler.contains(3)
+        assert not sampler.mark_dead(3)  # idempotent: already dead
+
+    def test_left_evicts(self, sampler):
+        assert sampler.mark_left(3)
+        assert sampler.status_of(3) == STATUS_LEFT
+        assert not sampler.contains(3)
+        assert not sampler.mark_left(3)
+
+    def test_expelled_is_terminal(self, sampler):
+        sampler.mark_expelled(3)
+        assert sampler.status_of(3) == STATUS_EXPELLED
+        assert not sampler.contains(3)
+        assert not sampler.readmit(3, incarnation=5)
+        assert sampler.status_of(3) == STATUS_EXPELLED
+
+
+class TestReadmission:
+    def test_dead_node_readmits_with_incarnation(self, sampler):
+        sampler.mark_dead(3)
+        assert sampler.readmit(3, incarnation=2)
+        assert sampler.status_of(3) == STATUS_ALIVE
+        assert sampler.contains(3)
+        assert sampler.incarnation_of(3) == 2
+
+    def test_left_node_readmits(self, sampler):
+        sampler.mark_left(3)
+        assert sampler.readmit(3)
+        assert sampler.contains(3)
+
+    def test_incarnation_never_decreases(self, sampler):
+        sampler.note_incarnation(3, 4)
+        sampler.note_incarnation(3, 2)
+        assert sampler.incarnation_of(3) == 4
+        sampler.mark_dead(3)
+        sampler.readmit(3, incarnation=1)
+        assert sampler.incarnation_of(3) == 4
+
+
+class TestRpsSpecific:
+    def test_stranger_readmit_refused(self, rng):
+        rps = GossipPeerSampling(rng, range(4), view_size=4)
+        # A decentralised service only knows bootstrapped nodes.
+        rps.mark_dead(999)
+        assert not rps.readmit(999)
+
+    def test_contains_is_flag_read(self, rng):
+        rps = GossipPeerSampling(rng, range(4), view_size=4)
+        assert rps.contains(2)
+        rps.remove(2)
+        assert not rps.contains(2)

@@ -1,0 +1,88 @@
+"""Live-plane churn: the SWIM detector on a real asyncio deployment.
+
+One loopback cluster (n=10) runs the same scripted crash/restart churn
+the sim acceptance test uses — two honest victims down for 1 s, inside
+the 2 s live suspicion window (8 periods × 0.25 s) — and the report must
+show the detector working end to end: suspicions raised, refutations
+observed, zero wrongful expulsions, and the membership transitions
+chained into the tamper-evident audit log.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.auditlog import AuditLog
+from repro.membership.failure_detector import FailureDetectorParams
+from repro.runtime.cluster import RuntimeCluster, RuntimeConfig
+from repro.runtime.faults import FaultSchedule
+
+DURATION = 4.0
+KEY_SEED = "live-churn-test"
+
+
+@pytest.fixture(scope="module")
+def churn_run(tmp_path_factory):
+    """One live churn deployment shared by every assertion below."""
+    log_path = tmp_path_factory.mktemp("live-churn") / "audit.jsonl"
+    config = RuntimeConfig(
+        n=10,
+        duration=DURATION,
+        seed=11,
+        expulsion_enabled=True,
+        failure_detector=FailureDetectorParams(),
+        fault_schedule=FaultSchedule.churn([1, 2], DURATION, downtime=1.0),
+        audit_log_path=str(log_path),
+        audit_key_seed=KEY_SEED,
+    )
+
+    async def run():
+        # The wait_for is the no-hang assertion: a stuck event loop
+        # fails here instead of stalling the suite.
+        return await asyncio.wait_for(
+            RuntimeCluster(config).run(), timeout=10 * DURATION
+        )
+
+    return asyncio.run(run()), log_path
+
+
+class TestLiveChurn:
+    def test_run_completes_with_throughput(self, churn_run):
+        report, _path = churn_run
+        assert report.chunks_emitted > 0
+        assert report.delivery_ratio > 0.3
+
+    def test_membership_stats_populated(self, churn_run):
+        report, _path = churn_run
+        stats = report.membership
+        assert stats["crashes"] == 2
+        assert stats["restarts"] == 2
+        assert stats["probes_sent"] > 0
+
+    def test_crashes_were_suspected_not_expelled(self, churn_run):
+        report, _path = churn_run
+        stats = report.membership
+        # Loose bounds — real timers jitter — but the detector must have
+        # noticed the outages and the restarts must have refuted them.
+        assert stats["suspicions"] >= 1
+        assert stats["refutations"] >= 1
+        assert report.wrongful_expulsions == []
+        assert report.expelled == []  # honest-only population
+
+    def test_cluster_converged_after_restarts(self, churn_run):
+        report, _path = churn_run
+        assert report.membership["suspected_now"] == 0
+        assert report.membership["records_in_quarantine"] == 0
+
+    def test_membership_transitions_in_audit_chain(self, churn_run):
+        report, path = churn_run
+        assert report.audit_ok is True
+        loaded = AuditLog.load(str(path), key_seed=KEY_SEED)
+        assert loaded.verify_all().ok
+        transitions = [
+            r.data["transition"]
+            for r in loaded.records
+            if r.kind == "membership"
+        ]
+        assert "suspect" in transitions
+        assert "refute" in transitions

@@ -95,6 +95,40 @@ class TestJsonRoundTrip:
         assert path.read_text().count("\n") > 3
 
 
+class TestProvenance:
+    def test_round_trip(self):
+        result = _envelope(provenance={"git_revision": "abc123", "fingerprint": "deadbeef"})
+        reparsed = RunResult.from_json(result.to_json())
+        assert reparsed.provenance == result.provenance
+        assert reparsed == result
+
+    def test_old_envelopes_without_provenance_load(self):
+        payload = json.loads(_envelope().to_json())
+        del payload["provenance"]  # an envelope written before the field existed
+        loaded = RunResult.from_json(json.dumps(payload))
+        assert loaded.provenance == {}
+
+    def test_collect_provenance_shape(self):
+        from repro.util.provenance import collect_provenance
+
+        info = collect_provenance()
+        assert set(info) >= {"git_revision", "fingerprint", "hostname", "python"}
+        assert isinstance(info["git_revision"], str) and info["git_revision"]
+        # Fingerprint is a short stable hex digest of the machine identity.
+        assert len(info["fingerprint"]) == 12
+        int(info["fingerprint"], 16)
+        # Callers get a copy — mutating it must not poison the cache.
+        info["git_revision"] = "tampered"
+        assert collect_provenance()["git_revision"] != "tampered"
+
+    def test_run_scenario_stamps_provenance(self):
+        from repro.scenarios.registry import run_scenario
+
+        result = run_scenario("analyze")
+        assert result.provenance.get("git_revision")
+        assert result.provenance.get("fingerprint")
+
+
 class TestEquality:
     def test_artifact_excluded(self):
         assert _envelope(artifact=object()) == _envelope(artifact=None)

@@ -137,6 +137,49 @@ class TestExpulsion:
         assert not network.is_connected(0)
 
 
+class TestReconnectPurge:
+    """Messages in flight across an outage die with the old process:
+    reconnect purges them (accounted as lost) so a delivery delayed past
+    the whole downtime cannot reach the restarted node."""
+
+    @pytest.mark.parametrize("use_timeline", [True, False])
+    def test_in_flight_message_purged_on_reconnect(self, use_timeline):
+        sim = Simulator()
+        network = Network(
+            sim, latency=ConstantLatency(0.5), loss=NoLoss(), use_timeline=use_timeline
+        )
+        nodes = {i: Recorder(i) for i in range(2)}
+        for node in nodes.values():
+            network.register(node)
+        network.send(0, 1, DataMsg(7))  # would deliver at t=0.5
+        network.disconnect(1)  # crash with the datagram in flight
+        network.reconnect(1)  # restart before the delivery instant
+        sim.run()
+        assert nodes[1].received == []
+        assert network.trace.lost_count("DataMsg") == 1
+        # The fabric works normally afterwards.
+        network.send(0, 1, DataMsg(8))
+        sim.run()
+        assert nodes[1].received == [(0, DataMsg(8))]
+
+    @pytest.mark.parametrize("use_timeline", [True, False])
+    def test_purge_only_hits_the_reconnecting_node(self, use_timeline):
+        sim = Simulator()
+        network = Network(
+            sim, latency=ConstantLatency(0.5), loss=NoLoss(), use_timeline=use_timeline
+        )
+        nodes = {i: Recorder(i) for i in range(3)}
+        for node in nodes.values():
+            network.register(node)
+        network.send(0, 1, DataMsg(1))
+        network.send(0, 2, DataMsg(2))
+        network.disconnect(1)
+        network.reconnect(1)
+        sim.run()
+        assert nodes[1].received == []
+        assert nodes[2].received == [(0, DataMsg(2))]
+
+
 class TestBandwidthIntegration:
     def test_upload_rate_delays_delivery(self):
         sim = Simulator()
