@@ -182,6 +182,32 @@ def bench_cluster1000() -> float:
     return _bench_cluster(1000, warmup=2.0, reps=2)
 
 
+def bench_cluster1000_peak_mem() -> float:
+    """Peak tracemalloc MiB allocated over one warm cluster1000 sim-second.
+
+    The large-n counterpart of ``bench_cluster300_peak_mem``: the
+    struct-of-arrays node state keeps the *marginal* allocation churn of
+    a steady-state sim-second from scaling with per-node dict traffic,
+    and this kernel is the gate.  Like the 300-node version it measures
+    allocations, not time, so it is enforced even on noisy CI runners
+    (``--skip-cluster`` does not skip it).
+    """
+    import tracemalloc
+
+    from repro.experiments.scaling import scaling_config
+    from repro.experiments.cluster import SimCluster
+
+    cluster = SimCluster(scaling_config(1000, seed=1))
+    cluster.run(until=2.0)
+    tracemalloc.start()
+    try:
+        cluster.run(until=3.0)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / (1024 * 1024)
+
+
 _SERIAL_GRID_S: list = []  # memo so the speedup check reuses the kernel's run
 
 
@@ -211,12 +237,13 @@ KERNELS = {
     "cluster300_s_per_sim_second": (bench_cluster300, False),
     "cluster300_peak_mem_mib": (bench_cluster300_peak_mem, False),
     "cluster1000_s_per_sim_second": (bench_cluster1000, False),
+    "cluster1000_peak_mem_mib": (bench_cluster1000_peak_mem, False),
     "table5_6cell_grid_serial_s": (bench_table5_grid_serial, False),
 }
 
 #: kernels skipped by --skip-cluster (the slow deployment-scale timing
-#: ones; the peak-memory kernel stays — it does not depend on machine
-#: speed, so it is enforced even on noisy CI runners).
+#: ones; the peak-memory kernels stay — they do not depend on machine
+#: speed, so they are enforced even on noisy CI runners).
 CLUSTER_KERNELS = ("cluster300_s_per_sim_second", "cluster1000_s_per_sim_second")
 
 UNITS = {
@@ -225,6 +252,7 @@ UNITS = {
     "cluster300_s_per_sim_second": "s/sim-s",
     "cluster300_peak_mem_mib": "MiB",
     "cluster1000_s_per_sim_second": "s/sim-s",
+    "cluster1000_peak_mem_mib": "MiB",
     "table5_6cell_grid_serial_s": "s",
 }
 

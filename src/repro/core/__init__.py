@@ -31,7 +31,14 @@ from repro.core.blames import (
     witness_contradiction_blame,
 )
 from repro.core.detector import ExpulsionController, ExpulsionRecord
-from repro.core.reputation import ManagerAssignment, ManagerRecord, ReputationManager, ScoreBoard
+from repro.core.reputation import (
+    ManagerAssignment,
+    ManagerRecord,
+    ReputationManager,
+    ReputationPool,
+    ScoreBoard,
+)
+from repro.core.soa import DenseIdRegistry, ProtocolStatePool, SlotRows
 from repro.core.verification import VerificationEngine
 
 __all__ = [
@@ -44,6 +51,7 @@ __all__ = [
     "Auditor",
     "ExpulsionController",
     "ExpulsionRecord",
+    "DenseIdRegistry",
     "ManagerAssignment",
     "ManagerRecord",
     "REASON_AUDIT_COMPENSATION",
@@ -54,7 +62,10 @@ __all__ = [
     "REASON_UNACKNOWLEDGED_HISTORY",
     "REASON_WITNESS_CONTRADICTION",
     "ReputationManager",
+    "ReputationPool",
+    "ProtocolStatePool",
     "ScoreBoard",
+    "SlotRows",
     "VerificationEngine",
     "fanout_decrease_blame",
     "no_ack_blame",

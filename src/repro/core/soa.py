@@ -1,0 +1,289 @@
+"""Struct-of-arrays substrate for hot per-node protocol state.
+
+LiFTinG's headline property is constant per-node work at large N, but a
+simulation that stores every node's transient protocol state in per-node
+Python dicts pays a large *constant* for that work and an O(objects)
+memory bill that caps the reachable N.  This module provides the two
+pieces that let the hot state live in pooled numpy columns instead:
+
+``DenseIdRegistry``
+    A cluster-owned mapping NodeId <-> contiguous slot index.  Slots are
+    stable across graceful leave/rejoin; a node readmitted under a bumped
+    incarnation is *remapped* — its old slot is zeroed in every attached
+    pool and recycled through a free-list, so no transient state can leak
+    across incarnations.
+
+``SlotRows`` / ``ProtocolStatePool``
+    Pooled per-slot row storage: each logical per-node collection (fresh
+    chunk map, pending-chunk set, blame outbox) becomes a ``[capacity,
+    width]`` column block plus a per-slot row count.  Appends are O(1)
+    numpy scalar stores; per-period consumption is a single ``tolist()``
+    over the live rows, which preserves the append order that the dict
+    versions exposed as insertion order (byte-identical RNG behaviour
+    downstream).
+
+The pools deliberately hold *transient* state only.  Durable reputation
+records live in :class:`repro.core.reputation.ReputationPool`, which is
+keyed per (manager, target) record rather than per node and survives
+readmission — the paper's scores are absolute, not per-incarnation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+NodeId = int
+
+__all__ = ["DenseIdRegistry", "SlotRows", "ProtocolStatePool"]
+
+
+class DenseIdRegistry:
+    """NodeId <-> dense contiguous slot index, with remap-on-readmit.
+
+    ``register`` assigns the next free slot (recycling retired slots
+    LIFO).  ``remap`` retires a node's current slot — clearing it in all
+    attached pools so recycled columns start zeroed — and assigns a fresh
+    one.  Slots of nodes that merely leave gracefully are *not* retired;
+    the registry is stable across leave/rejoin and only churns a slot
+    when an incarnation bump demands a clean sheet.
+    """
+
+    __slots__ = ("_slot_of", "_node_at", "_free", "_capacity", "_pools")
+
+    def __init__(self) -> None:
+        self._slot_of: Dict[NodeId, int] = {}
+        self._node_at: List[Optional[NodeId]] = []
+        self._free: List[int] = []
+        self._capacity = 0
+        self._pools: List[object] = []
+
+    # -- pool attachment -------------------------------------------------
+    def attach(self, pool) -> None:
+        """Attach a pool that must track this registry's capacity.
+
+        The pool must expose ``ensure_capacity(capacity)`` and
+        ``clear_slot(slot)``.
+        """
+        pool.ensure_capacity(self._capacity)
+        self._pools.append(pool)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """High-water slot count (including retired-but-free slots)."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._slot_of
+
+    def slot_of(self, node_id: NodeId) -> int:
+        return self._slot_of[node_id]
+
+    def node_at(self, slot: int) -> Optional[NodeId]:
+        return self._node_at[slot]
+
+    # -- mutation --------------------------------------------------------
+    def register(self, node_id: NodeId) -> int:
+        if node_id in self._slot_of:
+            raise ValueError(f"node {node_id!r} already registered")
+        if self._free:
+            slot = self._free.pop()
+            self._node_at[slot] = node_id
+        else:
+            slot = self._capacity
+            self._capacity += 1
+            self._node_at.append(node_id)
+            for pool in self._pools:
+                pool.ensure_capacity(self._capacity)
+        self._slot_of[node_id] = slot
+        return slot
+
+    def remap(self, node_id: NodeId) -> int:
+        """Retire ``node_id``'s slot (zeroing it in attached pools) and
+        assign a fresh slot for the new incarnation."""
+        old = self._slot_of.pop(node_id)
+        self._node_at[old] = None
+        for pool in self._pools:
+            pool.clear_slot(old)
+        self._free.append(old)
+        return self.register(node_id)
+
+
+class SlotRows:
+    """Per-slot variable-length rows over one or two pooled columns.
+
+    Layout: ``col0``/``col1`` are ``[capacity, width]`` arrays and
+    ``counts[slot]`` is the number of live rows for that slot.  Width
+    doubles globally when any slot overflows; capacity follows the
+    registry.  Rows keep append order — consumers that previously walked
+    a dict in insertion order walk ``tolist()`` of the live prefix and
+    see the identical sequence.
+
+    ``counts`` is deliberately a plain Python list: these methods run
+    once per protocol event, and a list index is a zero-frame plain int
+    where a numpy scalar would cost an ``int()`` conversion per touch.
+    Membership scans likewise go through ``tolist()`` + list ops rather
+    than ``(row == v).any()`` — for the handful of live rows a slot
+    holds, the C-level list scan is faster and costs one frame where the
+    ufunc-reduce path costs three.
+    """
+
+    __slots__ = ("col0", "col1", "counts", "_width", "_capacity", "_dtype0", "_dtype1")
+
+    def __init__(self, dtype0, dtype1=None, capacity: int = 1, width: int = 16) -> None:
+        self._dtype0 = dtype0
+        self._dtype1 = dtype1
+        self._capacity = max(1, capacity)
+        self._width = max(1, width)
+        self.col0 = np.zeros((self._capacity, self._width), dtype=dtype0)
+        self.col1 = (
+            np.zeros((self._capacity, self._width), dtype=dtype1)
+            if dtype1 is not None
+            else None
+        )
+        self.counts: List[int] = [0] * self._capacity
+
+    # -- growth ----------------------------------------------------------
+    def ensure_capacity(self, capacity: int) -> None:
+        if capacity <= self._capacity:
+            return
+        new_cap = self._capacity
+        while new_cap < capacity:
+            new_cap *= 2
+        col0 = np.zeros((new_cap, self._width), dtype=self._dtype0)
+        col0[: self._capacity] = self.col0
+        self.col0 = col0
+        if self.col1 is not None:
+            col1 = np.zeros((new_cap, self._width), dtype=self._dtype1)
+            col1[: self._capacity] = self.col1
+            self.col1 = col1
+        self.counts.extend([0] * (new_cap - self._capacity))
+        self._capacity = new_cap
+
+    def _grow_width(self) -> None:
+        width = self._width * 2
+        col0 = np.zeros((self._capacity, width), dtype=self._dtype0)
+        col0[:, : self._width] = self.col0
+        self.col0 = col0
+        if self.col1 is not None:
+            col1 = np.zeros((self._capacity, width), dtype=self._dtype1)
+            col1[:, : self._width] = self.col1
+            self.col1 = col1
+        self._width = width
+
+    # -- per-slot operations --------------------------------------------
+    def clear_slot(self, slot: int) -> None:
+        n = self.counts[slot]
+        if n:
+            self.col0[slot, :n] = 0
+            if self.col1 is not None:
+                self.col1[slot, :n] = 0
+            self.counts[slot] = 0
+
+    def count(self, slot: int) -> int:
+        return self.counts[slot]
+
+    def append(self, slot: int, v0, v1=None) -> None:
+        n = self.counts[slot]
+        if n == self._width:
+            self._grow_width()
+        self.col0[slot, n] = v0
+        if self.col1 is not None:
+            self.col1[slot, n] = v1
+        self.counts[slot] = n + 1
+
+    def add_unique(self, slot: int, v0) -> bool:
+        """Append ``v0`` unless already present; returns True if added."""
+        n = self.counts[slot]
+        if n and v0 in self.col0[slot, :n].tolist():
+            return False
+        if n == self._width:
+            self._grow_width()
+        self.col0[slot, n] = v0
+        self.counts[slot] = n + 1
+        return True
+
+    def contains(self, slot: int, v0) -> bool:
+        n = self.counts[slot]
+        return bool(n) and v0 in self.col0[slot, :n].tolist()
+
+    def discard(self, slot: int, v0) -> bool:
+        """Remove one occurrence of ``v0``; returns True if removed."""
+        n = self.counts[slot]
+        if not n:
+            return False
+        row = self.col0[slot]
+        try:
+            i = row[:n].tolist().index(v0)
+        except ValueError:
+            return False
+        last = n - 1
+        if i != last:
+            row[i] = row[last]
+            if self.col1 is not None:
+                c1 = self.col1[slot]
+                c1[i] = c1[last]
+        row[last] = 0
+        if self.col1 is not None:
+            self.col1[slot, last] = 0
+        self.counts[slot] = last
+        return True
+
+    def take(self, slot: int):
+        """Return the live rows as Python lists and clear the slot.
+
+        Returns ``values0`` (and ``values1`` when two columns exist) in
+        append order — the dict-insertion order the pooled state models.
+        """
+        n = self.counts[slot]
+        if not n:
+            return ([], []) if self.col1 is not None else []
+        values0 = self.col0[slot, :n].tolist()
+        self.col0[slot, :n] = 0
+        if self.col1 is not None:
+            values1 = self.col1[slot, :n].tolist()
+            self.col1[slot, :n] = 0
+            self.counts[slot] = 0
+            return values0, values1
+        self.counts[slot] = 0
+        return values0
+
+    def values(self, slot: int):
+        """Live first-column rows as a Python list (append order)."""
+        n = self.counts[slot]
+        return self.col0[slot, :n].tolist() if n else []
+
+
+class ProtocolStatePool:
+    """Cluster-owned pooled backing for ``GossipNode`` transient state.
+
+    One instance serves every node in a cluster; standalone nodes create
+    a private capacity-1 pool.  All three blocks are transient and are
+    zeroed wholesale on ``clear_slot`` (graceful state reset or
+    remap-on-readmit).
+    """
+
+    __slots__ = ("fresh", "pending", "blame")
+
+    def __init__(self, capacity: int = 1) -> None:
+        # fresh chunk map: (chunk_id, origin) per row
+        self.fresh = SlotRows(np.int64, np.int64, capacity=capacity, width=16)
+        # pending-chunk set: chunk_id per row
+        self.pending = SlotRows(np.int64, capacity=capacity, width=16)
+        # blame outbox: (target, value) per row, aggregated at flush time
+        self.blame = SlotRows(np.int64, np.float64, capacity=capacity, width=16)
+
+    def ensure_capacity(self, capacity: int) -> None:
+        self.fresh.ensure_capacity(capacity)
+        self.pending.ensure_capacity(capacity)
+        self.blame.ensure_capacity(capacity)
+
+    def clear_slot(self, slot: int) -> None:
+        self.fresh.clear_slot(slot)
+        self.pending.clear_slot(slot)
+        self.blame.clear_slot(slot)

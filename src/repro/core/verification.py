@@ -30,6 +30,8 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Set, Tuple
 
+import numpy as np
+
 from repro.core.blames import (
     REASON_FANOUT_DECREASE,
     REASON_INVALID_PROPOSAL,
@@ -78,8 +80,27 @@ class VerificationEngine:
         # Fan-out batching entry point when the host offers one (the
         # simulator-backed GossipNode does; test stubs may not).
         self._host_send_many = getattr(host, "send_many", None)
-        # requester -> {chunk_id: serve time}; awaiting an ack.
-        self._pending_acks: Dict[NodeId, Dict[ChunkId, float]] = {}
+        # Hot-path shortcuts mirroring the host's own: read the sim
+        # clock attribute and schedule on the engine directly instead of
+        # going through the host facade (one frame per serve/ack/round).
+        # Both fall back to the facade for live transports / test stubs.
+        self._sim = getattr(host, "_sim", None)
+        self._call_later = getattr(host, "_transport_call_later", None) or getattr(
+            host, "call_later", None
+        )
+        # Pending acks as struct-of-arrays columns: row i is one
+        # outstanding (requester, chunk, served_at) triple.  The
+        # insertion-ordered ``_ack_live`` dict maps each requester with
+        # live rows to its row count — it reproduces the key order the
+        # old dict-of-dicts exposed (first-serve order, re-insertion at
+        # the end after draining), which the period sweep's blame order
+        # depends on, and makes the pending-ack count exact by
+        # construction: a requester is a key iff it has live rows.
+        self._ack_req = np.zeros(16, dtype=np.int64)
+        self._ack_chunk = np.zeros(16, dtype=np.int64)
+        self._ack_time = np.zeros(16, dtype=np.float64)
+        self._ack_n = 0
+        self._ack_live: Dict[NodeId, int] = {}
         self._confirm_rounds: Dict[int, _ConfirmRound] = {}
         self._awaiting_response: Dict[Tuple[NodeId, NodeId], Deque[int]] = defaultdict(deque)
         self._pending_requests: Dict[int, _PendingRequest] = {}
@@ -93,31 +114,88 @@ class VerificationEngine:
     # ------------------------------------------------------------------
     def on_serve_sent(self, requester: NodeId, chunk_id: ChunkId) -> None:
         """We served ``chunk_id`` to ``requester``; an ack must follow."""
-        self._pending_acks.setdefault(requester, {})[chunk_id] = self.host.clock()
+        sim = self._sim
+        now = sim.now if sim is not None else self.host.clock()
+        live = self._ack_live
+        n = self._ack_n
+        cnt = live.get(requester)
+        if cnt is not None:
+            # A duplicate serve of the same (requester, chunk) — e.g. a
+            # retry chain looping back to us — just refreshes its clock,
+            # matching the old per-requester dict overwrite.
+            # ndarray.nonzero() over np.nonzero(): same result, one Python
+            # frame instead of four on a per-serve hot path.
+            hits = (
+                (self._ack_req[:n] == requester) & (self._ack_chunk[:n] == chunk_id)
+            ).nonzero()[0]
+            if hits.size:
+                self._ack_time[hits[0]] = now
+                return
+            live[requester] = cnt + 1
+        else:
+            live[requester] = 1
+        if n == self._ack_req.shape[0]:
+            self._grow_acks()
+        self._ack_req[n] = requester
+        self._ack_chunk[n] = chunk_id
+        self._ack_time[n] = now
+        self._ack_n = n + 1
+
+    def _grow_acks(self) -> None:
+        for name in ("_ack_req", "_ack_chunk", "_ack_time"):
+            old = getattr(self, name)
+            new = np.zeros(old.shape[0] * 2, dtype=old.dtype)
+            new[: old.shape[0]] = old
+            setattr(self, name, new)
+
+    def _drop_ack_rows(self, indices: List[int]) -> None:
+        """Remove rows (ascending indices) by swapping the tail in."""
+        req = self._ack_req
+        chunk = self._ack_chunk
+        time = self._ack_time
+        live = self._ack_live
+        n = self._ack_n
+        for i in reversed(indices):
+            requester = int(req[i])
+            cnt = live[requester] - 1
+            if cnt:
+                live[requester] = cnt
+            else:
+                del live[requester]
+            n -= 1
+            if i != n:
+                req[i] = req[n]
+                chunk[i] = chunk[n]
+                time[i] = time[n]
+        self._ack_n = n
 
     def on_ack(self, src: NodeId, ack: Ack) -> None:
         """Handle the ack of a node we served; §5.2's verifier role."""
-        fanout = self.host.gossip.fanout
-        now = self.host.clock()
-        pending = self._pending_acks.get(src)
-        if pending is not None:
+        host = self.host
+        fanout = host.gossip.fanout
+        sim = self._sim
+        now = sim.now if sim is not None else host.clock()
+        if src in self._ack_live:
+            n = self._ack_n
+            rows = (self._ack_req[:n] == src).nonzero()[0]
             acked = set(ack.chunk_ids)
-            for chunk_id in acked:
-                pending.pop(chunk_id, None)
-            # Chunks we served long enough ago that they *must* have been
-            # in this proposal (one gossip period, §5.2) but are absent:
-            # the proposal is invalid — blame f.
-            overdue = [
-                chunk_id
-                for chunk_id, served_at in pending.items()
-                if now - served_at >= self.host.gossip.gossip_period
-            ]
+            period = self.host.gossip.gossip_period
+            time = self._ack_time
+            drop: List[int] = []
+            overdue = False
+            for i, chunk_id in zip(rows.tolist(), self._ack_chunk[rows].tolist()):
+                if chunk_id in acked:
+                    drop.append(i)
+                # Chunks we served long enough ago that they *must* have
+                # been in this proposal (one gossip period, §5.2) but are
+                # absent: the proposal is invalid — blame f.
+                elif now - float(time[i]) >= period:
+                    drop.append(i)
+                    overdue = True
             if overdue:
-                for chunk_id in overdue:
-                    del pending[chunk_id]
                 self._blame(src, no_ack_blame(fanout), REASON_INVALID_PROPOSAL)
-            if not pending:
-                self._pending_acks.pop(src, None)
+            if drop:
+                self._drop_ack_rows(drop)
 
         if len(ack.partners) < fanout:
             value = fanout_decrease_blame(fanout, len(ack.partners))
@@ -161,7 +239,7 @@ class VerificationEngine:
         else:
             for witness in witnesses:
                 host.send(witness, confirm)
-        host.call_later(
+        self._call_later(
             host.lifting.confirm_timeout, self._finish_confirm_round, round_id
         )
 
@@ -199,7 +277,7 @@ class VerificationEngine:
         self._pending_requests[proposal_id] = _PendingRequest(
             proposer=proposer, expected=set(chunk_ids)
         )
-        self.host.call_later(
+        self._call_later(
             self.host.lifting.serve_timeout, self._finish_request, proposal_id
         )
 
@@ -226,31 +304,60 @@ class VerificationEngine:
     # periodic sweep: missing acks
     # ------------------------------------------------------------------
     def on_period_tick(self) -> None:
-        """Blame requesters whose acks never arrived (once per sweep)."""
-        now = self.host.clock()
-        timeout = self.host.lifting.ack_timeout
+        """Blame requesters whose acks never arrived (once per sweep).
+
+        The sweep is one masked array pass over the pending-ack columns;
+        the common no-expiry case exits after a single vectorised
+        compare instead of walking a dict of dicts.
+        """
+        n = self._ack_n
+        if not n:
+            return
+        host = self.host
+        sim = self._sim
+        now = sim.now if sim is not None else host.clock()
+        timeout = host.lifting.ack_timeout
+        mask = (now - self._ack_time[:n]) >= timeout
+        if not mask.any():
+            return
         fanout = self.host.gossip.fanout
-        emptied: List[NodeId] = []
-        for requester, pending in self._pending_acks.items():
-            expired = [c for c, served_at in pending.items() if now - served_at >= timeout]
-            if expired:
-                for chunk_id in expired:
-                    del pending[chunk_id]
+        expired = mask.nonzero()[0]
+        affected = set(self._ack_req[expired].tolist())
+        # Blame in the requester insertion order the old dict walk used.
+        for requester in self._ack_live:
+            if requester in affected:
                 self._blame(requester, no_ack_blame(fanout), REASON_NO_ACK)
-            if not pending:
-                emptied.append(requester)
-        for requester in emptied:
-            del self._pending_acks[requester]
+        self._drop_ack_rows(expired.tolist())
 
     # ------------------------------------------------------------------
     def _blame(self, target: NodeId, value: float, reason: str) -> None:
         self.blames_by_reason[reason] += value
         self.host.send_blame(target, value, reason)
 
+    def purge_requester(self, node_id: NodeId) -> None:
+        """Drop any pending-ack rows naming ``node_id`` as requester.
+
+        Called when a node is readmitted under a bumped incarnation so
+        that no stale ack expectations (and the blames they would draw)
+        leak across incarnations.
+        """
+        if node_id not in self._ack_live:
+            return
+        rows = (self._ack_req[: self._ack_n] == node_id).nonzero()[0]
+        self._drop_ack_rows(rows.tolist())
+
+    def reset_transient(self) -> None:
+        """Clear all pending verification state (new incarnation)."""
+        self._ack_n = 0
+        self._ack_live.clear()
+        self._confirm_rounds.clear()
+        self._awaiting_response.clear()
+        self._pending_requests.clear()
+
     @property
     def pending_ack_count(self) -> int:
         """Requesters we are currently awaiting acks from."""
-        return len(self._pending_acks)
+        return len(self._ack_live)
 
     @property
     def open_confirm_rounds(self) -> int:

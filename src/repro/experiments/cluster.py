@@ -23,7 +23,13 @@ from repro.config import (
     LiftingParams,
 )
 from repro.core.detector import ExpulsionController
-from repro.core.reputation import ManagerAssignment, ScoreBoard, compensation_per_period
+from repro.core.reputation import (
+    ManagerAssignment,
+    ReputationPool,
+    ScoreBoard,
+    compensation_per_period,
+)
+from repro.core.soa import DenseIdRegistry, ProtocolStatePool
 from repro.gossip.chunks import StreamSource
 from repro.gossip.protocol import GossipNode, SimTransport
 from repro.membership.failure_detector import (
@@ -147,6 +153,16 @@ class SimCluster:
         self.honest_ids: Set[NodeId] = set(honest_pool)
 
         # --- shared services -------------------------------------------
+        # Dense-id registry + struct-of-arrays pools: every node's hot
+        # transient state is a slot in one cluster-owned pool, and every
+        # manager's records are a row block in one reputation pool.  The
+        # registry remaps slots on readmission (see _remap_node_state).
+        self.registry = DenseIdRegistry()
+        self.state_pool = ProtocolStatePool(capacity=gossip.n)
+        self.registry.attach(self.state_pool)
+        self.reputation_pool = ReputationPool(
+            capacity=gossip.n * min(lifting.managers, gossip.n - 1)
+        )
         self.membership = FullMembership(seeds.generator("membership"), node_ids)
         self.assignment = ManagerAssignment(
             node_ids, lifting.managers, seeds.seed("managers")
@@ -175,6 +191,7 @@ class SimCluster:
         self.nodes: Dict[NodeId, GossipNode] = {}
         for node_id in node_ids:
             behavior = self._make_behavior(node_id, coalition)
+            state_slot = self.registry.register(node_id)
             node = GossipNode(
                 node_id=node_id,
                 transport=transport,
@@ -195,6 +212,9 @@ class SimCluster:
                     if config.failure_detector is not None
                     else None
                 ),
+                state_pool=self.state_pool,
+                state_slot=state_slot,
+                reputation_pool=self.reputation_pool,
             )
             self.nodes[node_id] = node
             upload = config.upload_rate if config.upload_rate is not None else math.inf
@@ -354,11 +374,29 @@ class SimCluster:
             return False
         self.network.reconnect(node_id)
         if node.failure_detector is not None:
+            self._remap_node_state(node_id)
             node.reset_gossip_state()
         node.start()
         if self.churn_monitor is not None:
             self.churn_monitor.on_rejoined(node_id)
         return True
+
+    def _remap_node_state(self, node_id: NodeId) -> None:
+        """Move a readmitted node onto a fresh pooled state slot.
+
+        The registry retires the old slot (zeroing its columns in every
+        attached pool) so the bumped incarnation starts clean, and every
+        peer's verification engine drops stale ack expectations naming
+        the node — state from the previous incarnation must neither leak
+        into the new one nor keep drawing blames against it.  Durable
+        reputation records are untouched (absolute scores, §6.2).
+        """
+        node = self.nodes[node_id]
+        node.adopt_state_slot(self.registry.remap(node_id))
+        for other in self.nodes.values():
+            engine = other.engine
+            if engine is not None:
+                engine.purge_requester(node_id)
 
     # ------------------------------------------------------------------
     # fault injection
@@ -421,6 +459,7 @@ class SimCluster:
                 # incarnation (the young-node audit rule covers the
                 # fresh history).
                 self.membership.readmit(node_id, node.failure_detector.incarnation + 1)
+            self._remap_node_state(node_id)
             node.reset_gossip_state()
             node.start()
             self.churn_monitor.on_restarted(node_id)
@@ -455,10 +494,8 @@ class SimCluster:
             started += manager.quarantines_started
             discarded += manager.quarantines_discarded
             released += manager.quarantines_released
-            for record in manager.records.values():
-                if record.suspected:
-                    quarantines += 1
-                quarantined_events += record.quarantined_events
+            quarantines += manager.suspected_records()
+            quarantined_events += manager.pending_quarantined_events()
         detectors = [
             node.failure_detector
             for node in self.nodes.values()

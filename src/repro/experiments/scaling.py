@@ -19,6 +19,7 @@ secondary.
 from __future__ import annotations
 
 import time
+import tracemalloc
 from dataclasses import dataclass, replace
 from typing import Sequence, Tuple
 
@@ -38,6 +39,10 @@ class ScalingPoint:
     sim_seconds: float
     #: engine events fired during the timed window.
     events: int
+    #: tracemalloc peak over construction + warm-up (MiB).  Dominated by
+    #: the standing per-node state, which is what the SoA re-layout
+    #: targets; 0.0 when the worker could not trace (nested tracing).
+    peak_mem_mib: float = 0.0
 
     @property
     def s_per_sim_second(self) -> float:
@@ -50,6 +55,14 @@ class ScalingPoint:
         if self.wall_seconds <= 0:
             return 0.0
         return self.events / self.wall_seconds
+
+    @property
+    def peak_mem_kib_per_node(self) -> float:
+        """Peak traced memory per deployment node (KiB) — the curve that
+        must bend *down* as n grows for the pooled layout to pay off."""
+        if self.n <= 0:
+            return 0.0
+        return self.peak_mem_mib * 1024.0 / self.n
 
 
 @dataclass(frozen=True)
@@ -74,6 +87,7 @@ class ScalingResult:
             "duration_sim_s": self.duration,
             "seed": self.seed,
             "s_per_sim_second": {str(p.n): round(p.s_per_sim_second, 4) for p in self.points},
+            "peak_mem_mib": {str(p.n): round(p.peak_mem_mib, 2) for p in self.points},
         }
 
 
@@ -90,9 +104,25 @@ def scaling_config(n: int, seed: int = 1) -> ClusterConfig:
 
 
 def _measure_point(n: int, seed: int, warmup: float, duration: float) -> ScalingPoint:
-    """Worker body: build, warm up, time ``duration`` simulated seconds."""
+    """Worker body: build, warm up, time ``duration`` simulated seconds.
+
+    Memory is traced over construction + warm-up only: tracemalloc slows
+    execution 2-4x, so tracing stops *before* the timed window starts —
+    the wall-clock numbers are never taken under instrumentation.  The
+    peak is dominated by the standing cluster state (the transient churn
+    on top is bounded by warm-up traffic), which is the quantity the
+    MiB/node curve tracks.
+    """
+    traced = not tracemalloc.is_tracing()
+    if traced:
+        tracemalloc.start()
     cluster = SimCluster(scaling_config(n, seed=seed))
     cluster.run(until=warmup)
+    peak_mib = 0.0
+    if traced:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak_mib = peak / (1024.0 * 1024.0)
     events_before = cluster.sim.events_processed
     start = time.perf_counter()
     cluster.run(until=warmup + duration)
@@ -102,6 +132,7 @@ def _measure_point(n: int, seed: int, warmup: float, duration: float) -> Scaling
         wall_seconds=wall,
         sim_seconds=duration,
         events=cluster.sim.events_processed - events_before,
+        peak_mem_mib=peak_mib,
     )
 
 
@@ -137,6 +168,8 @@ def _scaling_metrics(result: ScalingResult, params) -> dict:
                 "s_per_sim_second": point.s_per_sim_second,
                 "events_per_wall_second": point.events_per_wall_second,
                 "events": point.events,
+                "peak_mem_mib": point.peak_mem_mib,
+                "peak_mem_kib_per_node": point.peak_mem_kib_per_node,
             }
             for point in result.points
         ],
@@ -144,9 +177,14 @@ def _scaling_metrics(result: ScalingResult, params) -> dict:
 
 
 def _scaling_render(run: RunResult) -> str:
-    lines = ["     n  s/sim-s   events/s"]
-    for n, sps, eps in run.artifact.rows():
-        lines.append(f"{n:6d}  {sps:7.3f}  {eps:9,.0f}")
+    lines = ["     n  s/sim-s   events/s  peak MiB  KiB/node"]
+    for point in run.artifact.points:
+        lines.append(
+            f"{point.n:6d}  {point.s_per_sim_second:7.3f}"
+            f"  {point.events_per_wall_second:9,.0f}"
+            f"  {point.peak_mem_mib:8.1f}"
+            f"  {point.peak_mem_kib_per_node:8.1f}"
+        )
     return "\n".join(lines)
 
 

@@ -23,7 +23,13 @@ import numpy as np
 
 from repro.config import GossipParams, LiftingParams
 from repro.core.audit import Auditor, AuditResult
-from repro.core.reputation import ManagerAssignment, ReputationManager, ScoreReader
+from repro.core.reputation import (
+    ManagerAssignment,
+    ReputationManager,
+    ReputationPool,
+    ScoreReader,
+)
+from repro.core.soa import ProtocolStatePool
 from repro.core.verification import VerificationEngine
 from repro.gossip.chunks import SOURCE_ID, ChunkStore
 from repro.gossip.history import LocalHistory
@@ -138,6 +144,9 @@ class GossipNode:
         p_audit: float = 0.0,
         detector: Optional[FailureDetectorParams] = None,
         on_membership_event: Optional[Callable[[NodeId, NodeId, str, int], None]] = None,
+        state_pool: Optional[ProtocolStatePool] = None,
+        state_slot: Optional[int] = None,
+        reputation_pool: Optional[ReputationPool] = None,
     ) -> None:
         require(node_id >= 0, "node ids must be non-negative (SOURCE_ID=-1 is reserved)")
         self.node_id = node_id
@@ -174,8 +183,21 @@ class GossipNode:
         #: True once the first gossip period opened the history (checked
         #: per received message; cheaper than the history property).
         self._history_open = False
-        self._fresh: Dict[ChunkId, NodeId] = {}
-        self._pending_chunks: Set[ChunkId] = set()
+        # Hot transient state (fresh chunk map, pending-chunk set, blame
+        # outbox) lives in pooled struct-of-arrays columns — one
+        # cluster-owned pool slot per node when ``state_pool`` is given,
+        # a private capacity-1 pool for standalone nodes.  Row append
+        # order stands in for the dict insertion order the old per-node
+        # containers exposed (the propose phase and blame flush depend
+        # on it for byte-identical RNG behaviour).
+        if state_pool is None:
+            state_pool = ProtocolStatePool(capacity=1)
+            state_slot = 0
+        self._state_pool = state_pool
+        self._state_slot = state_slot if state_slot is not None else 0
+        self._fresh_rows = state_pool.fresh
+        self._pending_rows = state_pool.pending
+        self._blame_rows = state_pool.blame
         self._sent_proposals: Dict[int, _SentProposal] = {}
         self._proposal_counter = 0
         self._timer = None
@@ -184,8 +206,6 @@ class GossipNode:
         # pending requests tracked by the node itself when no verification
         # engine runs (the baseline protocol also retries lost serves).
         self._naked_requests: Dict[int, Tuple[NodeId, Set[ChunkId]]] = {}
-        # blames are batched per target and flushed once per period.
-        self._blame_outbox: Dict[NodeId, float] = defaultdict(float)
 
         self.engine = VerificationEngine(self) if lifting_enabled else None
         self.auditor = Auditor(self) if lifting_enabled else None
@@ -202,6 +222,7 @@ class GossipNode:
                 now=self.clock,
                 compensation=compensation,
                 start_time=start_time,
+                pool=reputation_pool,
             )
         self.audit_scheduler = None
         if lifting_enabled and p_audit > 0.0:
@@ -317,9 +338,12 @@ class GossipNode:
 
     def send(self, dst: NodeId, message: object, reliable: bool = False) -> bool:
         """Send ``message`` to ``dst`` (TCP when ``reliable``)."""
-        net_send = self._net_send
-        if net_send is not None:
-            return net_send(self.node_id, dst, message, _TCP if reliable else _UDP)
+        # A unicast is a one-destination fan-out; calling the network's
+        # send_many directly skips the Network.send delegation frame on
+        # the hottest per-message path.
+        send_many = self._net_send_many
+        if send_many is not None:
+            return send_many(self.node_id, (dst,), message, _TCP if reliable else _UDP) > 0
         return self._transport_send(self.node_id, dst, message, reliable)
 
     def send_many(self, dsts, message: object, reliable: bool = False) -> int:
@@ -375,12 +399,28 @@ class GossipNode:
         """
         self.history = LocalHistory(max_periods=self.lifting.history_periods + 2)
         self._history_open = False
-        self._fresh.clear()
-        self._pending_chunks.clear()
+        self._state_pool.clear_slot(self._state_slot)
         self._sent_proposals.clear()
         self._offers.clear()
         self._naked_requests.clear()
-        self._blame_outbox.clear()
+        if self.engine is not None:
+            # The old incarnation's ack expectations and open windows
+            # must not draw blames against the new one (or its peers).
+            self.engine.reset_transient()
+
+    def adopt_state_slot(self, slot: int) -> None:
+        """Point this node at a fresh (zeroed) pooled state slot.
+
+        Called by the cluster after a remap-on-readmit: the registry has
+        already retired and zeroed the old slot, so the node starts its
+        new incarnation with empty columns.
+        """
+        self._state_slot = slot
+
+    @property
+    def _pending_chunks(self) -> Set[ChunkId]:
+        """Pending-chunk ids as a set (debug/test view of pooled rows)."""
+        return set(self._pending_rows.values(self._state_slot))
 
     # ------------------------------------------------------------------
     # the gossip period
@@ -428,11 +468,14 @@ class GossipNode:
             del self._offers[chunk_id]
 
     def _propose_phase(self) -> None:
-        fresh, self._fresh = self._fresh, {}
-        if not fresh:
+        # Consume the fresh-map rows; append order == the old dict's
+        # insertion order, so ``by_server`` (and the per-server RNG
+        # draws inside propose_filter) sees the identical sequence.
+        fresh_chunks, fresh_origins = self._fresh_rows.take(self._state_slot)
+        if not fresh_chunks:
             return
         by_server: Dict[NodeId, List[ChunkId]] = {}
-        for chunk_id, server in fresh.items():
+        for chunk_id, server in zip(fresh_chunks, fresh_origins):
             chunks = by_server.get(server)
             if chunks is None:
                 chunks = by_server[server] = []
@@ -566,9 +609,11 @@ class GossipNode:
         self.stats.proposals_received += 1
         if self._history_open:
             self.history.record_received_proposal(src, message.chunk_ids)
-        now = self.clock()
+        sim = self._sim
+        now = sim.now if sim is not None else self.clock()
         needed = []
         owned = self.store.owned
+        pending = self._pending_rows.values(self._state_slot)
         for chunk_id in message.chunk_ids:
             if chunk_id in owned:
                 continue
@@ -582,7 +627,7 @@ class GossipNode:
             offers.append((src, message.proposal_id, now))
             if len(offers) > MAX_OFFERS_PER_CHUNK:
                 del offers[0]
-            if chunk_id not in self._pending_chunks:
+            if chunk_id not in pending:
                 needed.append(chunk_id)
         if not needed:
             return
@@ -602,7 +647,8 @@ class GossipNode:
         history_open = self._history_open
         owned = self.store.owned
         offer_map = self._offers
-        pending = self._pending_chunks
+        pending_rows = self._pending_rows
+        slot = self._state_slot
         for k in range(lo, hi):
             e = entries[k]
             if sim is not None:
@@ -617,6 +663,8 @@ class GossipNode:
                 history.record_received_proposal(src, message.chunk_ids)
             proposal_id = message.proposal_id
             needed = []
+            # Re-read per message: _send_request below appends rows.
+            pending = pending_rows.values(slot)
             for chunk_id in message.chunk_ids:
                 if chunk_id in owned:
                     continue
@@ -634,8 +682,18 @@ class GossipNode:
     def _send_request(
         self, proposer: NodeId, proposal_id: int, chunk_ids: Tuple[ChunkId, ...]
     ) -> None:
-        self.send(proposer, Request(proposal_id=proposal_id, chunk_ids=chunk_ids))
-        self._pending_chunks.update(chunk_ids)
+        request = Request(proposal_id=proposal_id, chunk_ids=chunk_ids)
+        send_many = self._net_send_many
+        if send_many is not None:
+            send_many(self.node_id, (proposer,), request, _UDP)
+        else:
+            self.send(proposer, request)
+        pending_rows = self._pending_rows
+        slot = self._state_slot
+        for chunk_id in chunk_ids:
+            # add_unique: retry requests re-request chunks that are
+            # already pending (the old set.update was idempotent too).
+            pending_rows.add_unique(slot, chunk_id)
         if self.engine is not None:
             self.engine.on_request_sent(proposer, proposal_id, chunk_ids)
         else:
@@ -683,21 +741,23 @@ class GossipNode:
     def _on_serve(self, src: NodeId, message: Serve) -> None:
         if self.engine is not None:
             self.engine.on_serve_received(message.proposal_id, message.chunk_id)
+        sim = self._sim
+        now = sim.now if sim is not None else self.clock()
         created_at = (
             self.chunk_created_at(message.chunk_id)
             if self.chunk_created_at is not None
-            else self.clock()
+            else now
         )
         fresh = self.store.add(
-            message.chunk_id, message.payload_size, received_at=self.clock(), created_at=created_at
+            message.chunk_id, message.payload_size, received_at=now, created_at=created_at
         )
-        self._pending_chunks.discard(message.chunk_id)
+        self._pending_rows.discard(self._state_slot, message.chunk_id)
         if not fresh:
             self.stats.duplicate_serves += 1
             return
         self.stats.chunks_received += 1
         origin = message.origin
-        self._fresh[message.chunk_id] = origin
+        self._fresh_rows.append(self._state_slot, message.chunk_id, origin)
         if self._history_open and origin != SOURCE_ID:
             self.history.record_fanin(origin)
 
@@ -710,8 +770,9 @@ class GossipNode:
         created_at = self.chunk_created_at
         history = self.history
         history_open = self._history_open
-        fresh_map = self._fresh
-        pending = self._pending_chunks
+        fresh_rows = self._fresh_rows
+        pending_rows = self._pending_rows
+        slot = self._state_slot
         for k in range(lo, hi):
             e = entries[k]
             if sim is not None:
@@ -727,13 +788,13 @@ class GossipNode:
             fresh = store.add(
                 chunk_id, message.payload_size, received_at=now, created_at=created
             )
-            pending.discard(chunk_id)
+            pending_rows.discard(slot, chunk_id)
             if not fresh:
                 stats.duplicate_serves += 1
                 continue
             stats.chunks_received += 1
             origin = message.origin
-            fresh_map[chunk_id] = origin
+            fresh_rows.append(slot, chunk_id, origin)
             if history_open and origin != SOURCE_ID:
                 history.record_fanin(origin)
 
@@ -777,7 +838,14 @@ class GossipNode:
             message.proposer, message.chunk_ids, last=3
         )
         valid = self.behavior.witness_valid(message.proposer, truthful)
-        self.send(src, ConfirmResponse(proposer=message.proposer, valid=valid))
+        response = ConfirmResponse(proposer=message.proposer, valid=valid)
+        # One ConfirmResponse per witness per confirm round makes this a
+        # top-three unicast site; go straight to the network fan-out.
+        send_many = self._net_send_many
+        if send_many is not None:
+            send_many(self.node_id, (src,), response, _UDP)
+        else:
+            self.send(src, response)
 
     def _on_expel_vote(self, src: NodeId, message: ExpelVote) -> None:
         if self.manager is None:
@@ -829,16 +897,23 @@ class GossipNode:
         if value > 0 and not self.behavior.should_blame(target):
             return
         self.stats.blames_emitted += max(value, 0.0)
-        self._blame_outbox[target] += value
+        self._blame_rows.append(self._state_slot, target, value)
 
     def _flush_blames(self) -> None:
-        if not self._blame_outbox:
+        blame_rows = self._blame_rows
+        slot = self._state_slot
+        if not blame_rows.counts[slot]:
             return
-        outbox, self._blame_outbox = self._blame_outbox, defaultdict(float)
+        targets_log, values_log = blame_rows.take(slot)
+        # Aggregate per target in first-occurrence order with the same
+        # left-to-right float additions the old defaultdict accumulated.
+        totals: Dict[NodeId, float] = {}
+        for target, value in zip(targets_log, values_log):
+            totals[target] = totals.get(target, 0.0) + value
         node_id = self.node_id
         local_targets: List[NodeId] = []
         local_values: List[float] = []
-        for target, value in outbox.items():
+        for target, value in totals.items():
             if value == 0.0:
                 continue
             blame = Blame(target=target, value=value, reason="period-batch")
@@ -877,7 +952,7 @@ class GossipNode:
             if alternative is not None:
                 retry[alternative].append(chunk_id)
             else:
-                self._pending_chunks.discard(chunk_id)
+                self._pending_rows.discard(self._state_slot, chunk_id)
         for (src, pid), ids in retry.items():
             self._send_request(src, pid, tuple(ids))
 

@@ -86,6 +86,52 @@ def _size_strategy(cls: type, message: object):
     return sizer
 
 
+class _ReceiverTable(dict):
+    """``node -> (endpoint, dispatch, batch)`` with a dense mirror.
+
+    Writes land both in the dict and in the owning network's ``_rcv``
+    list (index == node id; the stream source, id -1, occupies the last
+    slot via Python's negative-index rule — the list is kept at max id
+    + 2 entries so no registered id can alias it).  Delivery reads the
+    dense list when it is live, so *every* entry rebind — registration,
+    or a test wrapping a dispatch table in place — must go through
+    ``__setitem__``; bulk mutators (``update`` etc.) are not mirrored
+    and must not be used.  A non-int or pathological id retires the
+    mirror permanently (``_rcv = None``) and the dict serves lookups.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "Network") -> None:
+        super().__init__()
+        self._owner = owner
+
+    def __setitem__(self, node_id, entry) -> None:
+        super().__setitem__(node_id, entry)
+        owner = self._owner
+        rcv = owner._rcv
+        if rcv is None:
+            return
+        if type(node_id) is int and -1 <= node_id < 1_048_576:
+            need = node_id + 2  # own slot plus the source slot at [-1]
+            if need > len(rcv):
+                # The old last slot held the source entry; it becomes an
+                # interior (still unregistered) slot after the growth.
+                source_entry = rcv[-1]
+                rcv[-1] = None
+                rcv.extend([None] * (need - len(rcv)))
+                rcv[-1] = source_entry
+            rcv[node_id] = entry
+        else:
+            owner._rcv = None
+
+    def __delitem__(self, node_id) -> None:
+        super().__delitem__(node_id)
+        rcv = self._owner._rcv
+        if rcv is not None and type(node_id) is int and -1 <= node_id < len(rcv) - 1:
+            rcv[node_id] = None
+
+
 class Network:
     """Connects registered endpoints through modelled channels.
 
@@ -133,6 +179,7 @@ class Network:
         "wire_size",
         "_size_cache",
         "_receivers",
+        "_rcv",
         "_loss_inline",
         "_latency_inline",
         "_deliver_cb",
@@ -177,7 +224,12 @@ class Network:
         # node -> (endpoint, dispatch table or None, batch table or
         # None); delivery jumps straight to the handler when the
         # endpoint publishes a table.
-        self._receivers: Dict[NodeId, tuple] = {}
+        # Dense receiver mirror first (``_ReceiverTable.__setitem__``
+        # writes through to it): simulation ids are small contiguous
+        # ints, which makes the send fan-out's membership probe and the
+        # drain's receiver lookup a list index instead of a dict hash.
+        self._rcv: Optional[list] = [None, None]
+        self._receivers: Dict[NodeId, tuple] = _ReceiverTable(self)
         # --- the calendar-queue delivery tier --------------------------
         # Bucket width heuristic: an eighth of the latency spread, at
         # least half the minimum delay (so constant-latency models get
@@ -427,9 +479,23 @@ class Network:
             base_idx = int(now * tl_inv_width)
         tl_added = 0
 
+        rcv = self._rcv
         sent = 0
         for dst in dsts:
-            if dst not in endpoints or (disconnected and dst in disconnected):
+            # Membership probe: one list index in dense mode (`rcv[dst]
+            # is None` == "unregistered"), dict hash in fallback mode.
+            # ids below -1 would wrap into the table, hence the guard;
+            # non-int ids raise TypeError out of the comparison and are
+            # skipped exactly like the dict miss they used to be.
+            if rcv is not None:
+                try:
+                    if dst < -1 or rcv[dst] is None:
+                        continue
+                except (IndexError, TypeError):
+                    continue
+                if disconnected and dst in disconnected:
+                    continue
+            elif dst not in endpoints or (disconnected and dst in disconnected):
                 continue
             if link_unbounded:
                 link.bytes_sent += size
@@ -571,7 +637,12 @@ class Network:
         sim = self.sim
         tl = self._timeline
         queue = sim._queue
-        receivers = self._receivers
+        # Timeline entries only exist for destinations that passed the
+        # send-side membership probe, so the dense table (when live)
+        # serves the lookup by plain index — id -1 (the source) lands on
+        # the last slot by Python's negative-index rule.
+        rcv = self._rcv
+        receivers = rcv if rcv is not None else self._receivers
         delivered = self.trace._delivered
         disconnected = self._disconnected
         batch_runs = self._batch_runs

@@ -1,0 +1,146 @@
+"""Unit tests for the struct-of-arrays substrate (dense ids + pooled rows).
+
+The registry/pool pair backs every hot per-node collection (fresh map,
+pending set, blame outbox, pending acks), so the invariants pinned here
+— append order preserved, recycled slots zeroed, free-list reuse, counts
+exact under partial removal — are what the byte-identical golden runs
+and the no-leak-across-incarnations churn property rest on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.soa import DenseIdRegistry, ProtocolStatePool, SlotRows
+
+
+class TestDenseIdRegistry:
+    def test_register_assigns_contiguous_slots(self):
+        reg = DenseIdRegistry()
+        assert [reg.register(nid) for nid in (17, 3, 99)] == [0, 1, 2]
+        assert reg.capacity == 3
+        assert len(reg) == 3
+        assert reg.slot_of(99) == 2
+        assert reg.node_at(1) == 3
+        assert 17 in reg and 4 not in reg
+
+    def test_duplicate_registration_rejected(self):
+        reg = DenseIdRegistry()
+        reg.register(7)
+        with pytest.raises(ValueError):
+            reg.register(7)
+
+    def test_remap_recycles_slot_lifo(self):
+        reg = DenseIdRegistry()
+        for nid in (10, 11, 12):
+            reg.register(nid)
+        old = reg.slot_of(11)
+        new = reg.remap(11)
+        # The retired slot is the first free one, so the *same* node gets
+        # it back — but only after a full retire/assign cycle.
+        assert new == old
+        assert reg.capacity == 3  # no growth on recycle
+        assert reg.node_at(new) == 11
+
+    def test_remap_zeroes_attached_pools(self):
+        reg = DenseIdRegistry()
+        pool = ProtocolStatePool(capacity=1)
+        reg.attach(pool)
+        slot = reg.register(5)
+        pool.fresh.append(slot, 42, 7)
+        pool.pending.append(slot, 9)
+        pool.blame.append(slot, 3, 1.5)
+        new_slot = reg.remap(5)
+        assert new_slot == slot
+        assert pool.fresh.count(new_slot) == 0
+        assert pool.pending.count(new_slot) == 0
+        assert pool.blame.count(new_slot) == 0
+        assert not pool.fresh.col0[new_slot].any()
+        assert not pool.blame.col1[new_slot].any()
+
+    def test_attached_pools_follow_capacity_growth(self):
+        reg = DenseIdRegistry()
+        pool = ProtocolStatePool(capacity=1)
+        reg.attach(pool)
+        slots = [reg.register(nid) for nid in range(10)]
+        for slot in slots:
+            pool.pending.append(slot, slot + 100)
+        assert [pool.pending.values(s) for s in slots] == [[s + 100] for s in slots]
+
+    def test_graceful_ids_keep_their_slot(self):
+        # Only remap churns a slot; plain registration order is stable.
+        reg = DenseIdRegistry()
+        reg.register(0)
+        reg.register(1)
+        reg.remap(0)
+        assert reg.slot_of(1) == 1
+
+
+class TestSlotRows:
+    def test_take_preserves_append_order_and_clears(self):
+        rows = SlotRows(np.int64, np.int64, capacity=2, width=4)
+        for chunk, origin in ((5, 50), (3, 30), (9, 90)):
+            rows.append(0, chunk, origin)
+        assert rows.take(0) == ([5, 3, 9], [50, 30, 90])
+        assert rows.count(0) == 0
+        assert rows.take(0) == ([], [])
+
+    def test_single_column_take(self):
+        rows = SlotRows(np.int64, capacity=1, width=2)
+        rows.append(0, 4)
+        rows.append(0, 8)
+        assert rows.take(0) == [4, 8]
+
+    def test_width_growth_preserves_rows(self):
+        rows = SlotRows(np.int64, np.float64, capacity=1, width=2)
+        for i in range(9):  # forces two doublings
+            rows.append(0, i, float(i) / 2)
+        assert rows.take(0) == (list(range(9)), [i / 2 for i in range(9)])
+
+    def test_capacity_growth_preserves_rows(self):
+        rows = SlotRows(np.int64, capacity=1, width=4)
+        rows.append(0, 11)
+        rows.ensure_capacity(9)
+        rows.append(5, 55)
+        assert rows.values(0) == [11]
+        assert rows.values(5) == [55]
+
+    def test_add_unique_dedups(self):
+        rows = SlotRows(np.int64, capacity=1, width=4)
+        assert rows.add_unique(0, 7)
+        assert not rows.add_unique(0, 7)
+        assert rows.add_unique(0, 8)
+        assert rows.values(0) == [7, 8]
+
+    def test_discard_swaps_tail_and_zeroes(self):
+        rows = SlotRows(np.int64, np.int64, capacity=1, width=4)
+        for v in (1, 2, 3):
+            rows.append(0, v, v * 10)
+        assert rows.discard(0, 1)
+        # Swap-remove: the tail row replaced the removed one, and the
+        # vacated tail cell is zeroed (recycled columns must start clean).
+        assert rows.values(0) == [3, 2]
+        assert rows.col0[0, 2] == 0 and rows.col1[0, 2] == 0
+        assert not rows.discard(0, 99)
+
+    def test_contains(self):
+        rows = SlotRows(np.int64, capacity=1, width=2)
+        rows.append(0, 6)
+        assert rows.contains(0, 6)
+        assert not rows.contains(0, 7)
+
+    def test_zero_is_a_storable_value(self):
+        # Cleared cells are 0 too, so only the count may decide liveness.
+        rows = SlotRows(np.int64, capacity=1, width=2)
+        rows.append(0, 0)
+        assert rows.contains(0, 0)
+        assert rows.values(0) == [0]
+        assert rows.discard(0, 0)
+        assert not rows.contains(0, 0)
+
+    def test_slots_are_independent(self):
+        rows = SlotRows(np.int64, capacity=4, width=2)
+        rows.append(1, 10)
+        rows.append(2, 20)
+        rows.clear_slot(1)
+        assert rows.values(1) == []
+        assert rows.values(2) == [20]

@@ -173,6 +173,63 @@ class TestBookkeeping:
         fake_host.sim.run()
         assert engine.blames_by_reason[REASON_PARTIAL_SERVE] == float(FANOUT)
 
+    def test_partial_ack_keeps_exact_count(self, engine, fake_host):
+        """Regression: a partial ack must not leave an empty per-requester
+        entry behind (the old dict-of-dicts could strand one on the
+        partial-pop path and overcount pending requesters)."""
+        engine.on_serve_sent(5, 1)
+        engine.on_serve_sent(5, 2)
+        engine.on_serve_sent(8, 3)
+        assert engine.pending_ack_count == 2
+        # Ack only chunk 1 — requester 5 still owes chunk 2.
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=full_partners()))
+        assert engine.pending_ack_count == 2
+        # Ack the remainder: requester 5 must vanish entirely.
+        engine.on_ack(5, Ack(chunk_ids=(2,), partners=full_partners()))
+        assert engine.pending_ack_count == 1
+        assert 5 not in engine._ack_live
+        engine.on_ack(8, Ack(chunk_ids=(3,), partners=full_partners()))
+        assert engine.pending_ack_count == 0
+        assert engine._ack_n == 0 and engine._ack_live == {}
+
+    def test_overdue_drop_path_keeps_exact_count(self, engine, fake_host):
+        """The overdue-chunk pop inside ``on_ack`` (invalid-proposal path)
+        must release the requester the moment its last row drops."""
+        engine.on_serve_sent(5, 1)
+        engine.on_serve_sent(5, 2)
+        fake_host.sim.run(until=fake_host.gossip.gossip_period + 0.05)
+        # Ack names chunk 1 only; chunk 2 is overdue and dropped with blame.
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=full_partners()))
+        assert engine.pending_ack_count == 0
+        assert engine._ack_live == {}
+
+    def test_sweep_drop_path_keeps_exact_count(self, engine, fake_host):
+        engine.on_serve_sent(5, 1)
+        engine.on_serve_sent(8, 2)
+        fake_host.sim.run(until=fake_host.lifting.ack_timeout + 0.1)
+        engine.on_period_tick()
+        assert engine.pending_ack_count == 0
+        assert engine._ack_live == {} and engine._ack_n == 0
+
+    def test_duplicate_serve_refreshes_not_duplicates(self, engine, fake_host):
+        engine.on_serve_sent(5, 1)
+        fake_host.sim.run(until=0.2)
+        engine.on_serve_sent(5, 1)  # retry chain looped back to us
+        assert engine.pending_ack_count == 1
+        assert engine._ack_n == 1
+        engine.on_ack(5, Ack(chunk_ids=(1,), partners=full_partners()))
+        assert engine.pending_ack_count == 0
+
+    def test_purge_requester_drops_only_that_requester(self, engine):
+        engine.on_serve_sent(5, 1)
+        engine.on_serve_sent(8, 2)
+        engine.on_serve_sent(5, 3)
+        engine.purge_requester(5)
+        assert engine.pending_ack_count == 1
+        assert 5 not in engine._ack_live and 8 in engine._ack_live
+        engine.purge_requester(99)  # absent requester is a no-op
+        assert engine.pending_ack_count == 1
+
     def test_concurrent_confirm_rounds_same_proposer(self, engine, fake_host):
         # Two acks from the same proposer in flight: responses must be
         # matched FIFO per (proposer, witness).

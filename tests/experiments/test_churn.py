@@ -17,7 +17,11 @@ from repro.membership.base import STATUS_EXPELLED, STATUS_LEFT
 from repro.membership.failure_detector import FailureDetectorParams
 from repro.runtime.faults import FaultSchedule
 
-DURATION = 14.0
+# Long enough for the *last* restarting victim to re-confirm the
+# expelled freeriders dead: readmission now purges peers' stale ack
+# expectations (no cross-incarnation blame), which shifts the late-run
+# suspicion timing by about a period compared to the pre-SoA trajectory.
+DURATION = 16.0
 
 
 def make_cluster(n=30, **changes) -> SimCluster:
@@ -160,3 +164,73 @@ class TestLeaveRejoinEdgeCases:
         cluster._restart(node, plane)
         assert cluster.churn_monitor.restarts == 0
         assert cluster.membership.contains(node)
+
+
+class TestReadmissionRemap:
+    """Satellite: a bumped-incarnation readmit must land on a clean
+    pooled slot and purge every peer's stale ack expectations — no
+    transient state (or the blames it would draw) leaks across
+    incarnations."""
+
+    @pytest.fixture
+    def cluster(self):
+        return make_cluster(n=12, freerider_fraction=0.0)
+
+    def test_readmit_remaps_to_zeroed_columns(self, cluster):
+        node_id = sorted(cluster.honest_ids)[0]
+        node = cluster.nodes[node_id]
+        slot = node._state_slot
+        pool = cluster.state_pool
+        # Dirty every pooled block of the first incarnation's slot.
+        pool.fresh.append(slot, 7, 3)
+        pool.pending.append(slot, 9)
+        pool.blame.append(slot, 4, 2.0)
+        capacity_before = cluster.registry.capacity
+
+        cluster.leave(node_id)
+        assert cluster.rejoin(node_id)
+
+        new_slot = cluster.registry.slot_of(node_id)
+        assert node._state_slot == new_slot
+        assert cluster.registry.node_at(new_slot) == node_id
+        assert cluster.membership.incarnation_of(node_id) >= 1
+        # The retired slot went through the free-list (no growth) and
+        # every recycled column starts zeroed.
+        assert cluster.registry.capacity == capacity_before
+        for rows in (pool.fresh, pool.pending, pool.blame):
+            assert rows.count(new_slot) == 0
+            assert not rows.col0[new_slot].any()
+        assert not pool.blame.col1[new_slot].any()
+
+    def test_readmit_purges_peers_stale_ack_rows(self, cluster):
+        victim, peer_a, peer_b = sorted(cluster.honest_ids)[:3]
+        # Two peers served the victim's first incarnation and still
+        # expect acks; a third requester's expectation must survive.
+        cluster.nodes[peer_a].engine.on_serve_sent(victim, 101)
+        cluster.nodes[peer_b].engine.on_serve_sent(victim, 102)
+        cluster.nodes[peer_b].engine.on_serve_sent(peer_a, 103)
+        assert cluster.nodes[peer_a].engine.pending_ack_count == 1
+        assert cluster.nodes[peer_b].engine.pending_ack_count == 2
+
+        cluster.leave(victim)
+        assert cluster.rejoin(victim)
+
+        assert victim not in cluster.nodes[peer_a].engine._ack_live
+        assert victim not in cluster.nodes[peer_b].engine._ack_live
+        assert cluster.nodes[peer_a].engine.pending_ack_count == 0
+        # The unrelated expectation against peer_a is untouched.
+        assert cluster.nodes[peer_b].engine.pending_ack_count == 1
+
+    def test_readmitted_node_draws_no_blame_from_stale_acks(self, cluster):
+        victim, peer = sorted(cluster.honest_ids)[:2]
+        engine = cluster.nodes[peer].engine
+        engine.on_serve_sent(victim, 55)
+        cluster.leave(victim)
+        assert cluster.rejoin(victim)
+        # Push the clock past the ack timeout: without the purge this
+        # sweep would blame the *new* incarnation for the old one's debt.
+        cluster.sim.run(until=cluster.nodes[peer].lifting.ack_timeout + 1.0)
+        engine.on_period_tick()
+        from repro.core.blames import REASON_NO_ACK
+
+        assert engine.blames_by_reason[REASON_NO_ACK] == 0.0
