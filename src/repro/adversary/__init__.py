@@ -1,0 +1,45 @@
+"""Byzantine adversary policies for the robustness experiments.
+
+``from repro import adversary`` gives the full registry: importing the
+package imports every concrete policy module, which self-registers via
+:func:`repro.adversary.policy.register`.  Use :func:`create` to build a
+policy by name and :func:`available` to enumerate them::
+
+    policy = adversary.create("coalition", {"launder": 2.0})
+    policy.prepare(ctx)          # AdversaryContext from the cluster
+    behavior = policy.build(17)  # Behavior for adversarial node 17
+"""
+
+from repro.adversary.policy import (
+    AdversaryContext,
+    BehaviorPolicy,
+    available,
+    create,
+    register,
+)
+from repro.adversary.adaptive import (
+    AdaptiveFreeriderBehavior,
+    AdaptiveFreeriderPolicy,
+    degree_ladder,
+)
+from repro.adversary.coalition import LaunderingColluderBehavior, LaunderingCoalitionPolicy
+from repro.adversary.equivocator import EquivocatorBehavior, EquivocatorPolicy
+from repro.adversary.sybil import StuffingCampaign, SybilBlamePolicy, SybilStufferBehavior
+
+__all__ = [
+    "AdversaryContext",
+    "BehaviorPolicy",
+    "available",
+    "create",
+    "register",
+    "AdaptiveFreeriderBehavior",
+    "AdaptiveFreeriderPolicy",
+    "degree_ladder",
+    "LaunderingColluderBehavior",
+    "LaunderingCoalitionPolicy",
+    "EquivocatorBehavior",
+    "EquivocatorPolicy",
+    "StuffingCampaign",
+    "SybilBlamePolicy",
+    "SybilStufferBehavior",
+]

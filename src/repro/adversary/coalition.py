@@ -1,0 +1,112 @@
+"""The laundering coalition: collusion plus reputation-budget transfer.
+
+Extends the paper's colluders (§4.1(iii): mutual confirms, never blame
+each other, biased partner selection) with an attack the paper does not
+model: *blame laundering*.  Credits — negative blames — are legitimate
+protocol traffic (compensation for the chunks a partner did serve), so
+each coalition member spends a per-period credit budget on its
+co-members, draining their accumulated blame at the managers.  The
+coalition thereby converts the one resource the detector cannot audit
+(the right to praise) into score, and the sweep in the ``coalition``
+scenario measures how much laundering η absorbs before freeriders
+escape.
+"""
+
+from __future__ import annotations
+
+from repro.config import FreeriderDegree
+from repro.nodes.colluder import Coalition, ColludingBehavior
+
+from repro.adversary.policy import AdversaryContext, BehaviorPolicy, register
+
+NodeId = int
+
+
+class LaunderingColluderBehavior(ColludingBehavior):
+    """A coalition member that also launders blame budget."""
+
+    name = "laundering_colluder"
+
+    def __init__(
+        self,
+        degree: FreeriderDegree,
+        coalition: Coalition,
+        *,
+        bias: float = 0.0,
+        launder: float = 0.0,
+        man_in_the_middle: bool = False,
+        forge_history: bool = False,
+    ) -> None:
+        super().__init__(
+            degree,
+            coalition,
+            bias=bias,
+            man_in_the_middle=man_in_the_middle,
+            forge_history=forge_history,
+        )
+        #: total credit (negative blame) granted to co-members per period.
+        self.launder = launder
+        self.credits_sent = 0.0
+
+    def on_period_start(self, period: int) -> None:
+        if self.launder <= 0.0:
+            return
+        friends = self.coalition.others(self.node.node_id)
+        if not friends:
+            return
+        credit = self.launder / len(friends)
+        for friend in friends:
+            # Negative value: rides send_blame's credit path (the
+            # should_blame cover-up gate only vets positive blames).
+            self.node.send_blame(friend, -credit, "laundered-credit")
+            self.credits_sent += credit
+
+    def __repr__(self) -> str:
+        return (
+            f"LaunderingColluderBehavior({self.degree}, bias={self.bias}, "
+            f"launder={self.launder})"
+        )
+
+
+@register
+class LaunderingCoalitionPolicy(BehaviorPolicy):
+    """All adversarial nodes form one coalition with a laundering budget."""
+
+    name = "coalition"
+
+    def __init__(
+        self,
+        delta: float = 0.4,
+        bias: float = 0.3,
+        launder: float = 2.0,
+        man_in_the_middle: bool = False,
+        forge_history: bool = False,
+    ) -> None:
+        self.degree = FreeriderDegree.uniform(delta)
+        self.bias = bias
+        self.launder = launder
+        self.man_in_the_middle = man_in_the_middle
+        self.forge_history = forge_history
+
+    def prepare(self, ctx: AdversaryContext) -> None:
+        super().prepare(ctx)
+        self.coalition = Coalition(ctx.freerider_ids)
+
+    def build(self, node_id: NodeId) -> LaunderingColluderBehavior:
+        return LaunderingColluderBehavior(
+            self.degree,
+            self.coalition,
+            bias=self.bias,
+            launder=self.launder,
+            man_in_the_middle=self.man_in_the_middle,
+            forge_history=self.forge_history,
+        )
+
+    def describe(self):
+        return {
+            "policy": self.name,
+            "size": len(self.coalition),
+            "delta": self.degree.delta1,
+            "bias": self.bias,
+            "launder": self.launder,
+        }

@@ -1,0 +1,117 @@
+"""The pluggable adversary-policy framework.
+
+A :class:`BehaviorPolicy` turns a *population-level* attack description
+("a coalition of size c with laundering budget L", "four Sybils stuffing
+blames at two victims") into the per-node :class:`~repro.nodes.behavior.
+Behavior` instances a cluster plugs into its adversarial nodes.  The
+policy owns whatever state the attackers share — the coalition roster, a
+stuffing campaign's victim list — so the cluster stays attack-agnostic:
+it only knows *which* nodes are adversarial, never *how*.
+
+Policies are registered by name; :func:`create` instantiates one from a
+``ClusterConfig``-style flat parameter mapping, coercing strings so
+parameters survive a CLI round-trip.  The concrete adversaries live in
+sibling modules and self-register on import (see ``__init__``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Tuple, Type
+
+import numpy as np
+
+from repro.config import GossipParams, LiftingParams
+from repro.nodes.behavior import Behavior
+
+NodeId = int
+
+
+@dataclass(frozen=True)
+class AdversaryContext:
+    """What a policy may know about the deployment it attacks.
+
+    Deliberately *less* than the cluster knows: the adversary sees the
+    public parameters and the two role sets, not node internals.  The
+    ``rng`` is drawn from the cluster's seed tree (stream
+    ``"adversary"``), so adversarial randomness never perturbs the
+    honest streams — un-attacked runs stay byte-identical.
+    """
+
+    gossip: GossipParams
+    lifting: LiftingParams
+    freerider_ids: FrozenSet[NodeId]
+    honest_ids: FrozenSet[NodeId]
+    rng: np.random.Generator
+
+
+class BehaviorPolicy:
+    """Base policy: knows how to arm one adversarial node.
+
+    Lifecycle: construct with parameters → :meth:`prepare` once with the
+    deployment context → :meth:`build` once per adversarial node id.
+    """
+
+    name = "?"
+
+    def prepare(self, ctx: AdversaryContext) -> None:
+        """Bind the deployment context and derive shared attack state."""
+        self.ctx = ctx
+
+    def build(self, node_id: NodeId) -> Behavior:
+        """The behaviour instance for adversarial node ``node_id``."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        """Summary for reports/metrics (policy name + tuned state)."""
+        return {"policy": self.name}
+
+
+_REGISTRY: Dict[str, Type[BehaviorPolicy]] = {}
+
+
+def register(cls: Type[BehaviorPolicy]) -> Type[BehaviorPolicy]:
+    """Class decorator: make a policy creatable by name."""
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"duplicate adversary policy name: {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available() -> Tuple[str, ...]:
+    """Registered policy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _coerce(value):
+    """Best-effort typed view of a possibly-stringly parameter value."""
+    if not isinstance(value, str):
+        return value
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def create(kind: str, params: Mapping[str, object] = ()) -> BehaviorPolicy:
+    """Instantiate the policy registered under ``kind``.
+
+    ``params`` are keyword arguments for the policy constructor; string
+    values are coerced (bool/int/float) so ``("rate", "1.5")`` pairs
+    from a frozen config tuple work unchanged.
+    """
+    try:
+        cls = _REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown adversary policy {kind!r}; available: {available()}"
+        ) from None
+    kwargs = {key: _coerce(value) for key, value in dict(params).items()}
+    return cls(**kwargs)

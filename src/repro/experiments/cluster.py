@@ -76,6 +76,13 @@ class ClusterConfig:
     man_in_the_middle: bool = False
     forge_history: bool = False
     period_stride: int = 1
+    #: named adversary policy armed on the freerider population (see
+    #: :mod:`repro.adversary`); empty = the legacy degree/colluding
+    #: switches above.  ``adversary_params`` is a tuple of ``(key,
+    #: value)`` pairs forwarded to the policy constructor (a tuple, not
+    #: a dict, to keep the config frozen and hashable).
+    adversary: str = ""
+    adversary_params: tuple = ()
 
     # --- PlanetLab-style heterogeneity -------------------------------
     #: fraction of *honest* nodes with a poor connection.
@@ -185,6 +192,24 @@ class SimCluster:
         self.source = StreamSource(self.sim, self.network, self.membership, gossip)
         self.network.register(self.source)
 
+        # --- adversary policy -------------------------------------------
+        self.adversary_policy = None
+        if config.adversary:
+            from repro import adversary as adversary_pkg
+
+            self.adversary_policy = adversary_pkg.create(
+                config.adversary, dict(config.adversary_params)
+            )
+            self.adversary_policy.prepare(
+                adversary_pkg.AdversaryContext(
+                    gossip=gossip,
+                    lifting=lifting,
+                    freerider_ids=frozenset(self.freerider_ids),
+                    honest_ids=frozenset(self.honest_ids),
+                    rng=seeds.generator("adversary"),
+                )
+            )
+
         # --- nodes -------------------------------------------------------
         coalition = Coalition(self.freerider_ids) if config.colluding else None
         transport = SimTransport(self.sim, self.network)
@@ -233,6 +258,8 @@ class SimCluster:
         config = self.config
         if node_id not in self.freerider_ids:
             return HonestBehavior()
+        if self.adversary_policy is not None:
+            return self.adversary_policy.build(node_id)
         if coalition is not None:
             return ColludingBehavior(
                 config.freerider_degree,
@@ -468,6 +495,26 @@ class SimCluster:
         if not self.membership.contains(node_id):
             self.rejoin(node_id)
         plane.mark_restarted(node_id)
+
+    def attach_invariants(self, interval: float = 1.0):
+        """Arm an :class:`~repro.core.invariants.InvariantMonitor`.
+
+        Sweeps every ``interval`` simulated seconds on a timer chain.
+        The monitor is read-only and draws no RNG, so arming it cannot
+        change a run's outcome — only observe it.  Returns the monitor;
+        call its :meth:`~repro.core.invariants.InvariantMonitor.check`
+        once more after the run for the final-state sweep.
+        """
+        from repro.core.invariants import monitor_for_cluster
+
+        monitor = monitor_for_cluster(self)
+
+        def sweep() -> None:
+            monitor.check()
+            self.sim.call_later(interval, sweep)
+
+        self.sim.call_later(interval, sweep)
+        return monitor
 
     def audit_results(self):
         """All sporadic-audit results collected across the cluster."""

@@ -431,6 +431,7 @@ class GossipNode:
         self._history_open = True
         if self.engine is not None:
             self.engine.on_period_tick()
+        self.behavior.on_period_start(self.period)
         self._flush_blames()
         self._prune_offers()
         self._run_manager_duties()
@@ -837,7 +838,7 @@ class GossipNode:
         truthful = self.history.was_proposed_by(
             message.proposer, message.chunk_ids, last=3
         )
-        valid = self.behavior.witness_valid(message.proposer, truthful)
+        valid = self.behavior.confirm_answer(src, message.proposer, truthful)
         response = ConfirmResponse(proposer=message.proposer, valid=valid)
         # One ConfirmResponse per witness per confirm round makes this a
         # top-three unicast site; go straight to the network fan-out.
@@ -871,9 +872,10 @@ class GossipNode:
 
     def _on_history_poll(self, src: NodeId, message: HistoryPollRequest) -> None:
         truthful_ack = self.history.was_proposed_by(message.target, message.chunk_ids)
-        acknowledged = self.behavior.poll_acknowledge(message.target, truthful_ack)
         senders = self.history.confirm_senders_about(message.target)
-        senders = self.behavior.poll_confirm_senders(message.target, senders)
+        acknowledged, senders = self.behavior.poll_answer(
+            src, message.target, truthful_ack, senders
+        )
         response = HistoryPollResponse(
             target=message.target,
             period=message.period,

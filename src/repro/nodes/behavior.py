@@ -36,6 +36,19 @@ class Behavior:
         self.node = node
 
     # ------------------------------------------------------------------
+    # period hook (adaptation point)
+    # ------------------------------------------------------------------
+    def on_period_start(self, period: int) -> None:
+        """Called once per local gossip period, before blames flush.
+
+        The honest default does nothing; adaptive adversaries use it to
+        re-tune their deviation or inject reputation traffic (see
+        :mod:`repro.adversary`).  Hooks here may call
+        ``self.node.send_blame`` — emissions land in the same period's
+        flush.
+        """
+
+    # ------------------------------------------------------------------
     # propose phase (§4.1)
     # ------------------------------------------------------------------
     def select_partners(self, fanout: int) -> List[NodeId]:
@@ -75,6 +88,11 @@ class Behavior:
         """Answer to a confirm request about ``proposer``."""
         return truthful
 
+    def confirm_answer(self, requester: NodeId, proposer: NodeId, truthful: bool) -> bool:
+        """Requester-aware confirm answer (equivocators differentiate by
+        who asks); defaults to the requester-blind :meth:`witness_valid`."""
+        return self.witness_valid(proposer, truthful)
+
     def should_blame(self, target: NodeId) -> bool:
         """Whether to emit a blame against ``target`` (cover-ups say no)."""
         return True
@@ -92,6 +110,20 @@ class Behavior:
     ) -> List[NodeId]:
         """The confirm-sender log reported about ``target``."""
         return truthful
+
+    def poll_answer(
+        self,
+        requester: NodeId,
+        target: NodeId,
+        truthful_ack: bool,
+        truthful_senders: List[NodeId],
+    ) -> Tuple[bool, List[NodeId]]:
+        """Requester-aware history-poll answer ``(acknowledged,
+        confirm_senders)``; defaults to the requester-blind hooks."""
+        return (
+            self.poll_acknowledge(target, truthful_ack),
+            self.poll_confirm_senders(target, truthful_senders),
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

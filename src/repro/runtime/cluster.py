@@ -119,6 +119,9 @@ class RuntimeReport:
     #: churn/detector transition counters and convergence delays
     #: (empty without a failure detector).
     membership: Dict[str, object] = field(default_factory=dict)
+    #: safety-invariant sweep outcome (see
+    #: :class:`repro.core.invariants.InvariantMonitor.summary`).
+    invariants: Dict[str, object] = field(default_factory=dict)
 
 
 class RuntimeCluster:
@@ -152,6 +155,8 @@ class RuntimeCluster:
         self._monitor: Optional[ChurnMonitor] = None
         self._membership = None
         self._expelled_set: Set[NodeId] = set()
+        #: armed by :meth:`run`; exposes live invariant state to tests.
+        self.invariants = None
 
     async def run(self) -> RuntimeReport:
         """Execute the deployment for ``config.duration`` real seconds."""
@@ -247,6 +252,29 @@ class RuntimeCluster:
             self.nodes[node_id] = node
             await transport.open_endpoints(node_id, node.on_message)
 
+        # Safety-invariant sweeps ride their own task: read-only over
+        # the managers/registry, so they observe the run without
+        # perturbing it.
+        from repro.core.invariants import InvariantMonitor
+
+        invariants = InvariantMonitor(
+            managers={
+                nid: n.manager
+                for nid, n in self.nodes.items()
+                if n.manager is not None
+            },
+            honest_ids=set(node_ids) - self.freerider_ids,
+            adversary_ids=self.freerider_ids,
+            is_expelled=expelled_set.__contains__,
+            node_ids=node_ids,
+            assignment=assignment,
+            expel_quorum=self.lifting.expel_quorum,
+            audit_logs=(log,),
+            clock=transport.clock,
+        )
+        self.invariants = invariants
+        invariant_task = loop.create_task(self._invariant_sweeps(invariants))
+
         # The source: a plain coroutine pushing fresh chunks over UDP.
         source_task = loop.create_task(self._source(transport, membership, seeds))
 
@@ -274,7 +302,7 @@ class RuntimeCluster:
         await asyncio.sleep(config.duration)
 
         source_task.cancel()
-        for task in (fault_task, probe_task):
+        for task in (fault_task, probe_task, invariant_task):
             if task is not None:
                 task.cancel()
         for node in self.nodes.values():
@@ -282,7 +310,8 @@ class RuntimeCluster:
         await asyncio.sleep(2 * config.gossip_period)  # drain in-flight timers
         await transport.close()
 
-        return self._report(transport, assignment, plane, log)
+        invariants.check()  # final-state sweep on the settled run
+        return self._report(transport, assignment, plane, log, invariants)
 
     # ------------------------------------------------------------------
     # background tasks
@@ -370,13 +399,20 @@ class RuntimeCluster:
                 transport.send(prober, target, probe, reliable=True)
             await asyncio.sleep(_PROBE_INTERVAL)
 
+    async def _invariant_sweeps(self, monitor) -> None:
+        """Periodic safety sweeps, a couple per gossip period window."""
+        interval = 2 * self.config.gossip_period
+        while True:
+            await asyncio.sleep(interval)
+            monitor.check()
+
     def _created_at(self, chunk_id: int) -> float:
         return self.chunk_created_at.get(chunk_id, 0.0)
 
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
-    def _report(self, transport, assignment, plane, log) -> RuntimeReport:
+    def _report(self, transport, assignment, plane, log, invariants) -> RuntimeReport:
         emitted = len(self.chunk_created_at)
         if emitted and self.nodes:
             ratios = [
@@ -452,4 +488,5 @@ class RuntimeCluster:
             audit_ok=chain.ok,
             audit_records=chain.length,
             membership=membership_stats,
+            invariants=invariants.summary(),
         )

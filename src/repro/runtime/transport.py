@@ -2,11 +2,17 @@
 
 Each node owns one UDP datagram endpoint (unreliable path) and one TCP
 server (reliable path, used by audits).  Messages are serialised with
-:mod:`pickle` framed by a 4-byte length prefix on TCP and sent as single
-datagrams on UDP.  Pickle is acceptable here because the runtime is a
-single-operator deployment tool (all endpoints are ours); a hostile
-deployment would swap in a schema codec — the message dataclasses are
-flat tuples of ints/bools, so that swap is mechanical.
+the strict schema codec of :mod:`repro.wire_codec` — per-field typed
+packing derived from the frozen wire dataclasses, framed by a 4-byte
+length prefix on TCP and sent as one frame per datagram on UDP.  No
+byte a peer sends is ever trusted: unknown tags, truncated or trailing
+bytes, out-of-range counts and oversized frames are all rejected at the
+socket boundary, counted per claimed source in
+:meth:`AsyncTransport.resilience_snapshot`, and repeated garbage from
+one peer trips that peer's circuit breaker (we stop talking to a
+babbling endpoint).  A TCP length prefix above the codec's frame cap
+kills the connection outright — framing can no longer be trusted after
+it.
 
 Resilience layer (see :mod:`repro.runtime.resilience`):
 
@@ -40,13 +46,13 @@ are refused).
 from __future__ import annotations
 
 import asyncio
-import pickle
 import struct
 from collections import deque
 from typing import Callable, Deque, Dict, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import wire_codec
 from repro.runtime.resilience import (
     BoundedIngressQueue,
     BreakerCounters,
@@ -266,6 +272,12 @@ class AsyncTransport:
         self.sends_refused = 0
         self.frames_abandoned = 0
         self.connect_failures = 0
+        #: rejected ingress frames, total and per claimed source.  The
+        #: attribution comes from the (unauthenticated) frame header,
+        #: so it quarantines a babbling peer without convicting it.
+        self.decode_errors = 0
+        self.decode_errors_unattributed = 0
+        self.decode_errors_by_peer: Dict[NodeId, int] = {}
 
     # ------------------------------------------------------------------
     # the facade used by GossipNode
@@ -311,7 +323,7 @@ class AsyncTransport:
             if fate < 0.0:
                 return True  # injected drop: counted by the plane
             extra = fate
-        payload = pickle.dumps((src, message), protocol=pickle.HIGHEST_PROTOCOL)
+        payload = wire_codec.encode_frame(src, message)
         if not reliable:
             endpoint = self._endpoints.get(src)
             address = self.registry.udp_address(dst)
@@ -492,13 +504,38 @@ class AsyncTransport:
             return
         receiver(src, message)
 
+    def _on_decode_error(self, data: bytes) -> None:
+        """Account one rejected frame and feed the claimed peer's breaker.
+
+        The frame header is unauthenticated, so attribution follows the
+        *claimed* source id (like an IP source address): its counter
+        rises and its egress breaker records a failure, which after
+        ``breaker_failure_threshold`` consecutive rejections opens the
+        circuit — we stop spending sockets on a peer that talks garbage.
+        Unreadable headers land in ``decode_errors_unattributed``.
+        """
+        self.decode_errors += 1
+        claimed = wire_codec.peek_src(data)
+        if claimed is None:
+            self.decode_errors_unattributed += 1
+            return
+        self.decode_errors_by_peer[claimed] = (
+            self.decode_errors_by_peer.get(claimed, 0) + 1
+        )
+        channel = self._channels.get(claimed)
+        if channel is None:
+            channel = _PeerChannel(self, claimed)
+            self._channels[claimed] = channel
+        channel.breaker.record_failure()
+
     def _dispatch(self, node_id: NodeId, data: bytes) -> None:
         if not self.registry.is_connected(node_id) or node_id in self._crashed:
             return
         try:
-            src, message = pickle.loads(data)
-        except Exception:
-            return  # malformed datagram: drop, as a real stack would
+            src, message = wire_codec.decode_frame(data)
+        except wire_codec.CodecError:
+            self._on_decode_error(data)
+            return  # malformed datagram: drop, count, never deliver
         self._ingest(node_id, src, message)
 
     async def _serve_stream(self, node_id: NodeId, reader, writer) -> None:
@@ -511,12 +548,18 @@ class AsyncTransport:
             while True:
                 header = await reader.readexactly(_LENGTH.size)
                 (length,) = _LENGTH.unpack(header)
+                if length > wire_codec.MAX_FRAME_BYTES:
+                    # A hostile length prefix: reject *before* allocating
+                    # and kill the stream — framing is unrecoverable.
+                    self._on_decode_error(b"")
+                    break
                 payload = await reader.readexactly(length)
                 if not self.registry.is_connected(node_id) or node_id in self._crashed:
                     continue
                 try:
-                    src, message = pickle.loads(payload)
-                except Exception:
+                    src, message = wire_codec.decode_frame(payload)
+                except wire_codec.CodecError:
+                    self._on_decode_error(payload)
                     continue
                 self._ingest(node_id, src, message)
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
@@ -542,6 +585,14 @@ class AsyncTransport:
             "ingress": self._ingress.as_dict(),
             "connect_failures": self.connect_failures,
             "frames_abandoned": self.frames_abandoned,
+            "decode_errors": {
+                "total": self.decode_errors,
+                "unattributed": self.decode_errors_unattributed,
+                "by_peer": {
+                    str(peer): count
+                    for peer, count in sorted(self.decode_errors_by_peer.items())
+                },
+            },
         }
 
     async def close(self) -> None:

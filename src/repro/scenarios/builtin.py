@@ -458,6 +458,8 @@ def _chaos_metrics(report, params) -> dict:
         "faults": dict(report.faults),
         "audit_ok": bool(report.audit_ok),
         "audit_records": report.audit_records,
+        "invariant_checks": report.invariants.get("checks", 0),
+        "invariant_violations": report.invariants.get("violations", 0),
     }
 
 
@@ -474,7 +476,9 @@ def _chaos_render(run: RunResult) -> str:
         f"ingress high-water {ingress.get('high_water', 0)}/{ingress.get('capacity', 0)}\n"
         f"expelled {report.expelled} (wrongful {report.wrongful_expulsions}); "
         f"audit chain {'ok' if report.audit_ok else 'TAMPERED'} "
-        f"({report.audit_records} records)\n"
+        f"({report.audit_records} records); "
+        f"invariants: {report.invariants.get('violations', 0)} violations "
+        f"in {report.invariants.get('checks', 0)} sweeps\n"
         f"{report.detection.summary()}"
     )
 
@@ -552,10 +556,16 @@ def _compute_churn(params: dict) -> Dict[str, object]:
                 permanent_frac=params["permanent"],
             )
         )
+    invariants = cluster.attach_invariants()
     cluster.run(until=params["duration"])
+    invariants.check()  # final-state sweep
     expelled = sorted(cluster.controller.expelled_nodes())
     wrongful = sorted(n for n in expelled if n not in cluster.freerider_ids)
     summary = cluster.churn_summary()
+    summary.update(
+        invariant_checks=invariants.summary()["checks"],
+        invariant_violations=invariants.summary()["violations"],
+    )
     summary.update(
         rate=rate,
         victims=len(victims),
@@ -597,6 +607,7 @@ def _churn_metrics(artifact, params) -> dict:
         #: restart -> readmission, averaged over the whole sweep.
         "mean_detection_delay": sum(detect) / len(detect) if detect else None,
         "mean_recovery_delay": sum(recover) / len(recover) if recover else None,
+        "invariant_violations": sum(e.get("invariant_violations", 0) for e in sweep),
         "sweep": [dict(e) for e in sweep],
     }
 
@@ -664,6 +675,264 @@ def _churn_scenario(params):
             fn=_compute_churn,
             args=({**dict(params), "rate": rate},),
             key=f"churn-{rate:g}",
+        )
+        for rate in params["rates"]
+    ]
+
+
+# ----------------------------------------------------------------------
+# coalition — laundering colluders vs. detection (simulator sweep)
+# ----------------------------------------------------------------------
+
+def _adversary_cluster(params: dict, kind: str, adversary_params: tuple):
+    """A SimCluster armed with a named adversary policy (shared by the
+    coalition and sybil_blame sweeps; module-level for process pools)."""
+    from dataclasses import replace
+
+    from repro.config import planetlab_params
+    from repro.experiments.cluster import ClusterConfig, SimCluster
+
+    gossip, lifting = planetlab_params()
+    gossip = replace(gossip, n=params["n"], chunk_size=1400)
+    lifting = replace(lifting, assumed_loss_rate=params["loss"])
+    return SimCluster(
+        ClusterConfig(
+            gossip=gossip,
+            lifting=lifting,
+            seed=params["seed"],
+            loss_rate=params["loss"],
+            freerider_fraction=params["adversaries"] / params["n"],
+            adversary=kind,
+            adversary_params=adversary_params,
+            expulsion_enabled=True,
+        )
+    )
+
+
+def _adversary_outcome(cluster, invariants) -> Dict[str, object]:
+    """The shared outcome block: who was expelled, who escaped, and
+    whether any safety invariant broke along the way."""
+    invariants.check()  # final-state sweep
+    expelled = sorted(cluster.controller.expelled_nodes())
+    adversaries = sorted(cluster.freerider_ids)
+    wrongful = sorted(n for n in expelled if n not in cluster.freerider_ids)
+    caught = [n for n in expelled if n in cluster.freerider_ids]
+    scores = cluster.scores()
+    return {
+        "adversaries": len(adversaries),
+        "adversaries_expelled": len(caught),
+        "escape_rate": (
+            1.0 - len(caught) / len(adversaries) if adversaries else 0.0
+        ),
+        "wrongful_expulsions": [int(n) for n in wrongful],
+        "wrongful_expulsion_count": len(wrongful),
+        "invariant_checks": invariants.summary()["checks"],
+        "invariant_violations": invariants.summary()["violations"],
+        "adversary_scores": [round(scores[n], 3) for n in adversaries],
+        "policy": dict(cluster.adversary_policy.describe()),
+    }
+
+
+def _compute_coalition(params: dict) -> Dict[str, object]:
+    """One deployment against one coalition size."""
+    size = params["size"]
+    cluster = _adversary_cluster(
+        {**params, "adversaries": size},
+        "coalition",
+        (
+            ("delta", params["delta"]),
+            ("bias", params["bias"]),
+            ("launder", params["launder"]),
+        ),
+    )
+    invariants = cluster.attach_invariants()
+    cluster.run(until=params["duration"])
+    outcome = _adversary_outcome(cluster, invariants)
+    outcome["size"] = size
+    outcome["credits_laundered"] = round(
+        sum(
+            cluster.nodes[nid].behavior.credits_sent
+            for nid in cluster.freerider_ids
+        ),
+        3,
+    )
+    return outcome
+
+
+def _coalition_reduce(results, params) -> Dict[str, object]:
+    return {"sweep": list(results)}
+
+
+def _adversary_sweep_metrics(artifact, key: str) -> dict:
+    sweep = artifact["sweep"]
+    return {
+        key: [e[key] for e in sweep],
+        "escape_rate": {f"{e[key]:g}": e["escape_rate"] for e in sweep},
+        "adversaries_expelled": {
+            f"{e[key]:g}": e["adversaries_expelled"] for e in sweep
+        },
+        "max_escape_rate": max((e["escape_rate"] for e in sweep), default=0.0),
+        "wrongful_expulsion_count": sum(
+            e["wrongful_expulsion_count"] for e in sweep
+        ),
+        "invariant_violations": sum(e["invariant_violations"] for e in sweep),
+        "sweep": [dict(e) for e in sweep],
+    }
+
+
+def _coalition_metrics(artifact, params) -> dict:
+    return _adversary_sweep_metrics(artifact, "size")
+
+
+def _coalition_render(run: RunResult) -> str:
+    lines = ["size  expelled  escape  wrongful  laundered  violations"]
+    for e in run.artifact["sweep"]:
+        lines.append(
+            f"{e['size']:4d} {e['adversaries_expelled']:5d}/{e['adversaries']}"
+            f" {e['escape_rate']:8.1%} {e['wrongful_expulsion_count']:9d} "
+            f"{e['credits_laundered']:10.1f} {e['invariant_violations']:10d}"
+        )
+    return "\n".join(lines)
+
+
+@scenario(
+    "coalition",
+    "Sweep laundering-coalition sizes: freerider escape vs wrongful expulsion",
+    params=(
+        Param("n", int, 60, "system size", validate=lambda v: v >= 12,
+              constraint=">= 12"),
+        Param("seed", int, 3, "experiment seed"),
+        Param("duration", float, 30.0, "simulated seconds",
+              validate=lambda v: v > 0, constraint="> 0"),
+        Param("loss", float, 0.04, "datagram loss rate",
+              validate=lambda v: 0.0 <= v < 1.0, constraint="in [0, 1)"),
+        Param("sizes", int, (3, 6, 9), sequence=True,
+              help="coalition sizes to sweep"),
+        Param("delta", float, 0.5, "uniform freeriding degree of members"),
+        Param("bias", float, 0.3, "coalition partner-selection bias p_m",
+              validate=lambda v: 0.0 <= v <= 1.0, constraint="in [0, 1]"),
+        Param("launder", float, 2.0,
+              "credit (negative blame) each member grants co-members per period",
+              validate=lambda v: v >= 0.0, constraint=">= 0"),
+        Param("jobs", int, 1, "worker processes for the sweep",
+              validate=lambda v: v >= 1, constraint=">= 1"),
+    ),
+    reduce=_coalition_reduce,
+    summarize=_coalition_metrics,
+    render=_coalition_render,
+    tags=("robustness", "adversary"),
+    smoke={"n": 24, "duration": 12.0, "sizes": (3,)},
+    sim_time=lambda params: params["duration"] * len(params["sizes"]),
+)
+def _coalition_scenario(params):
+    return [
+        Task(
+            fn=_compute_coalition,
+            args=({**dict(params), "size": size},),
+            key=f"coalition-{size}",
+        )
+        for size in params["sizes"]
+    ]
+
+
+# ----------------------------------------------------------------------
+# sybil_blame — coordinated blame stuffing at honest victims (simulator)
+# ----------------------------------------------------------------------
+
+def _compute_sybil(params: dict) -> Dict[str, object]:
+    """One deployment against one stuffing rate."""
+    rate = params["rate"]
+    cluster = _adversary_cluster(
+        {**params, "adversaries": params["sybils"]},
+        "sybil_blame",
+        (
+            ("rate", rate),
+            ("victims", params["victims"]),
+            ("delta", params["delta"]),
+            ("start_period", params["start_period"]),
+        ),
+    )
+    invariants = cluster.attach_invariants()
+    cluster.run(until=params["duration"])
+    outcome = _adversary_outcome(cluster, invariants)
+    campaign = cluster.adversary_policy.campaign
+    scores = cluster.scores()
+    outcome["rate"] = rate
+    outcome["victims"] = [int(v) for v in campaign.victims]
+    outcome["victim_scores"] = [round(scores[v], 3) for v in campaign.victims]
+    outcome["victims_expelled"] = sum(
+        1 for v in campaign.victims if cluster.controller.is_expelled(v)
+    )
+    outcome["blames_stuffed"] = round(campaign.blames_stuffed, 3)
+    return outcome
+
+
+def _sybil_reduce(results, params) -> Dict[str, object]:
+    return {"sweep": list(results)}
+
+
+def _sybil_metrics(artifact, params) -> dict:
+    metrics = _adversary_sweep_metrics(artifact, "rate")
+    metrics["victims_expelled"] = sum(
+        e["victims_expelled"] for e in artifact["sweep"]
+    )
+    metrics["min_victim_score"] = min(
+        (s for e in artifact["sweep"] for s in e["victim_scores"]),
+        default=None,
+    )
+    return metrics
+
+
+def _sybil_render(run: RunResult) -> str:
+    lines = ["rate  stuffers-expelled  escape  victims-expelled  min-victim-score"]
+    for e in run.artifact["sweep"]:
+        lines.append(
+            f"{e['rate']:4.1f} {e['adversaries_expelled']:10d}/{e['adversaries']}"
+            f" {e['escape_rate']:10.1%} {e['victims_expelled']:12d} "
+            f"{min(e['victim_scores']):14.2f}"
+        )
+    lines.append(
+        f"invariant violations: {run.metrics['invariant_violations']}"
+    )
+    return "\n".join(lines)
+
+
+@scenario(
+    "sybil_blame",
+    "Sweep Sybil blame-stuffing rates against honest victims: defamation vs detection",
+    params=(
+        Param("n", int, 60, "system size", validate=lambda v: v >= 12,
+              constraint=">= 12"),
+        Param("seed", int, 3, "experiment seed"),
+        Param("duration", float, 30.0, "simulated seconds",
+              validate=lambda v: v > 0, constraint="> 0"),
+        Param("loss", float, 0.04, "datagram loss rate",
+              validate=lambda v: 0.0 <= v < 1.0, constraint="in [0, 1)"),
+        Param("sybils", int, 4, "stuffing identities",
+              validate=lambda v: v >= 1, constraint=">= 1"),
+        Param("rates", float, (0.5, 1.0, 2.0), sequence=True,
+              help="blame units stuffed per victim per member per period"),
+        Param("victims", int, 2, "honest nodes targeted",
+              validate=lambda v: v >= 1, constraint=">= 1"),
+        Param("delta", float, 0.5, "uniform freeriding degree of the stuffers"),
+        Param("start_period", int, 10, "first period of the campaign",
+              validate=lambda v: v >= 0, constraint=">= 0"),
+        Param("jobs", int, 1, "worker processes for the sweep",
+              validate=lambda v: v >= 1, constraint=">= 1"),
+    ),
+    reduce=_sybil_reduce,
+    summarize=_sybil_metrics,
+    render=_sybil_render,
+    tags=("robustness", "adversary"),
+    smoke={"n": 24, "duration": 12.0, "rates": (1.0,)},
+    sim_time=lambda params: params["duration"] * len(params["rates"]),
+)
+def _sybil_scenario(params):
+    return [
+        Task(
+            fn=_compute_sybil,
+            args=({**dict(params), "rate": rate},),
+            key=f"sybil-{rate:g}",
         )
         for rate in params["rates"]
     ]

@@ -1,0 +1,318 @@
+"""Safe length-prefixed binary codec for the wire messages.
+
+The live transport must never trust a peer's bytes: a pickle-based
+frame is arbitrary code execution, and even a "trusted" deployment is
+one compromised box away from a hostile one.  This module derives a
+strict schema codec from the frozen slotted dataclasses in
+:mod:`repro.wire` — every field is packed with an explicit fixed-width
+encoding, every sequence is length-prefixed and capped, and decoding
+validates the frame end to end (unknown type tags, truncated bodies,
+trailing bytes, out-of-range counts and non-canonical booleans are all
+rejected with a :class:`CodecError`).
+
+Frame layout (the transport adds a 4-byte ``!I`` length prefix on TCP;
+UDP datagrams carry one frame verbatim)::
+
+    tag:1 | src:8 (signed big-endian) | body (per-field packing)
+
+Field encodings, compiled once per message class from its type hints:
+
+====================  ==================================================
+``int``               8-byte signed big-endian (``!q``)
+``float``             8-byte IEEE-754 big-endian (``!d``)
+``bool``              1 byte, strictly ``0x00`` / ``0x01``
+``str``               2-byte length + UTF-8 bytes (cap ``MAX_STR_BYTES``)
+``Tuple[X, ...]``     2-byte count (cap ``MAX_SEQ_ITEMS``) + elements
+``Tuple[A, B, C]``    fixed: the three elements back to back
+====================  ==================================================
+
+Encoding canonicalises numpy scalars (``np.int64``, ``np.float64``,
+``np.bool_``) to their Python equivalents, so a round-trip always
+yields plain Python values — the property the hypothesis suite pins.
+
+The codec is intentionally *not* versioned per message: the tag is the
+class's index in :data:`repro.wire.WIRE_MESSAGE_CLASSES`, so the wire
+format is frozen exactly as hard as that tuple's order — appending new
+classes is compatible, reordering is a flag-day (and the test suite
+pins the tag assignment).
+"""
+
+from __future__ import annotations
+
+import struct
+import typing
+from typing import Tuple
+
+from repro import wire
+from repro.wire import WIRE_MESSAGE_CLASSES
+
+__all__ = [
+    "CodecError",
+    "MalformedFrameError",
+    "OversizedFrameError",
+    "UnknownTypeError",
+    "MAX_FRAME_BYTES",
+    "MAX_SEQ_ITEMS",
+    "MAX_STR_BYTES",
+    "decode_frame",
+    "encode_frame",
+    "peek_src",
+    "tag_of",
+]
+
+
+class CodecError(ValueError):
+    """Base class for every frame rejection."""
+
+
+class UnknownTypeError(CodecError):
+    """The frame's type tag names no known message class."""
+
+
+class MalformedFrameError(CodecError):
+    """The frame violates the schema (truncated, trailing, bad value)."""
+
+
+class OversizedFrameError(CodecError):
+    """The frame (or one of its sequences) exceeds a hard cap."""
+
+
+#: hard ceiling on one frame; the TCP reader checks the length prefix
+#: against this *before* allocating, so a hostile 4 GiB header cannot
+#: balloon memory.
+MAX_FRAME_BYTES = 64 * 1024
+#: elements allowed per encoded sequence (fanouts and history windows
+#: are two orders of magnitude smaller).
+MAX_SEQ_ITEMS = 4096
+#: UTF-8 bytes allowed per string field (reasons are diagnostic tags).
+MAX_STR_BYTES = 255
+
+_INT = struct.Struct("!q")
+_FLOAT = struct.Struct("!d")
+_COUNT = struct.Struct("!H")
+
+_HEADER_LEN = 1 + _INT.size  # tag + src
+
+
+# ----------------------------------------------------------------------
+# schema compilation: type hints -> spec trees
+# ----------------------------------------------------------------------
+def _compile_spec(hint) -> tuple:
+    """Compile one type hint into a spec tree the codec can execute."""
+    if hint is int:
+        return ("int",)
+    if hint is float:
+        return ("float",)
+    if hint is bool:
+        return ("bool",)
+    if hint is str:
+        return ("str",)
+    origin = typing.get_origin(hint)
+    if origin is tuple:
+        args = typing.get_args(hint)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return ("seq", _compile_spec(args[0]))
+        return ("fixed", tuple(_compile_spec(a) for a in args))
+    raise TypeError(f"unsupported wire field type: {hint!r}")
+
+
+def _compile_all() -> dict:
+    """Field specs for every wire class, keyed by class."""
+    compiled = {}
+    for cls in WIRE_MESSAGE_CLASSES:
+        hints = typing.get_type_hints(cls)
+        compiled[cls] = tuple(
+            (name, _compile_spec(hints[name])) for name in cls.__slots__
+        )
+    return compiled
+
+
+_SPECS = _compile_all()
+_TAG_OF = {cls: tag for tag, cls in enumerate(WIRE_MESSAGE_CLASSES)}
+_CLS_OF = {tag: cls for tag, cls in enumerate(WIRE_MESSAGE_CLASSES)}
+
+
+def tag_of(cls) -> int:
+    """The 1-byte wire tag of a message class."""
+    return _TAG_OF[cls]
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _encode_value(spec: tuple, value, out: list) -> None:
+    kind = spec[0]
+    if kind == "int":
+        out.append(_INT.pack(int(value)))
+    elif kind == "float":
+        out.append(_FLOAT.pack(float(value)))
+    elif kind == "bool":
+        out.append(b"\x01" if value else b"\x00")
+    elif kind == "str":
+        data = str(value).encode("utf-8")[:MAX_STR_BYTES]
+        out.append(_COUNT.pack(len(data)))
+        out.append(data)
+    elif kind == "seq":
+        items = tuple(value)
+        if len(items) > MAX_SEQ_ITEMS:
+            raise OversizedFrameError(
+                f"sequence of {len(items)} items exceeds cap {MAX_SEQ_ITEMS}"
+            )
+        out.append(_COUNT.pack(len(items)))
+        elem = spec[1]
+        for item in items:
+            _encode_value(elem, item, out)
+    else:  # fixed
+        elems = spec[1]
+        items = tuple(value)
+        if len(items) != len(elems):
+            raise MalformedFrameError(
+                f"fixed tuple needs {len(elems)} items, got {len(items)}"
+            )
+        for elem, item in zip(elems, items):
+            _encode_value(elem, item, out)
+
+
+def encode_frame(src: int, message) -> bytes:
+    """Serialise ``(src, message)`` into one self-contained frame.
+
+    Raises :class:`UnknownTypeError` for a non-wire message class and
+    :class:`OversizedFrameError` when the result exceeds
+    :data:`MAX_FRAME_BYTES` — both are sender-side programming errors,
+    not network conditions, so they propagate instead of being counted.
+    """
+    tag = _TAG_OF.get(message.__class__)
+    if tag is None:
+        raise UnknownTypeError(
+            f"{message.__class__.__name__} is not a wire message class"
+        )
+    out = [bytes((tag,)), _INT.pack(int(src))]
+    try:
+        for name, spec in _SPECS[message.__class__]:
+            _encode_value(spec, getattr(message, name), out)
+    except (TypeError, ValueError, struct.error) as exc:
+        if isinstance(exc, CodecError):
+            raise
+        raise MalformedFrameError(f"unencodable field value: {exc}") from exc
+    frame = b"".join(out)
+    if len(frame) > MAX_FRAME_BYTES:
+        raise OversizedFrameError(
+            f"frame of {len(frame)} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )
+    return frame
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def _decode_value(spec: tuple, data: bytes, offset: int):
+    kind = spec[0]
+    if kind == "int":
+        end = offset + _INT.size
+        if end > len(data):
+            raise MalformedFrameError("truncated int field")
+        return _INT.unpack_from(data, offset)[0], end
+    if kind == "float":
+        end = offset + _FLOAT.size
+        if end > len(data):
+            raise MalformedFrameError("truncated float field")
+        return _FLOAT.unpack_from(data, offset)[0], end
+    if kind == "bool":
+        if offset >= len(data):
+            raise MalformedFrameError("truncated bool field")
+        byte = data[offset]
+        if byte > 1:
+            raise MalformedFrameError(f"non-canonical bool byte {byte:#x}")
+        return byte == 1, offset + 1
+    if kind == "str":
+        end = offset + _COUNT.size
+        if end > len(data):
+            raise MalformedFrameError("truncated string length")
+        length = _COUNT.unpack_from(data, offset)[0]
+        if length > MAX_STR_BYTES:
+            raise OversizedFrameError(f"string of {length} bytes exceeds cap")
+        offset, end = end, end + length
+        if end > len(data):
+            raise MalformedFrameError("truncated string body")
+        try:
+            return data[offset:end].decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise MalformedFrameError("invalid UTF-8 in string field") from exc
+    if kind == "seq":
+        end = offset + _COUNT.size
+        if end > len(data):
+            raise MalformedFrameError("truncated sequence count")
+        count = _COUNT.unpack_from(data, offset)[0]
+        if count > MAX_SEQ_ITEMS:
+            raise OversizedFrameError(f"sequence of {count} items exceeds cap")
+        elem = spec[1]
+        offset = end
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(elem, data, offset)
+            items.append(item)
+        return tuple(items), offset
+    # fixed
+    items = []
+    for elem in spec[1]:
+        item, offset = _decode_value(elem, data, offset)
+        items.append(item)
+    return tuple(items), offset
+
+
+def decode_frame(data: bytes):
+    """Parse one frame back into ``(src, message)``.
+
+    Strict: the tag must be known, every field must decode within
+    bounds, and the body must be consumed exactly — trailing bytes are
+    rejected (they would silently smuggle state past the schema).
+    """
+    if len(data) > MAX_FRAME_BYTES:
+        raise OversizedFrameError(
+            f"frame of {len(data)} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )
+    if len(data) < _HEADER_LEN:
+        raise MalformedFrameError(f"frame of {len(data)} bytes has no header")
+    cls = _CLS_OF.get(data[0])
+    if cls is None:
+        raise UnknownTypeError(f"unknown message tag {data[0]:#x}")
+    src = _INT.unpack_from(data, 1)[0]
+    offset = _HEADER_LEN
+    values = []
+    for _name, spec in _SPECS[cls]:
+        value, offset = _decode_value(spec, data, offset)
+        values.append(value)
+    if offset != len(data):
+        raise MalformedFrameError(
+            f"{len(data) - offset} trailing bytes after {cls.__name__} body"
+        )
+    try:
+        return src, cls(*values)
+    except (TypeError, ValueError) as exc:  # dataclass-level validation
+        raise MalformedFrameError(f"rejected {cls.__name__}: {exc}") from exc
+
+
+def peek_src(data: bytes):
+    """Best-effort claimed source id of a frame (None when unreadable).
+
+    Used to *attribute* decode failures for per-peer accounting.  The
+    header is unauthenticated, so the attribution is a claim, not a
+    proof — good enough to quarantine a babbling peer, not to convict
+    it (exactly like an IP source address).
+    """
+    if len(data) < _HEADER_LEN or data[0] not in _CLS_OF:
+        return None
+    return _INT.unpack_from(data, 1)[0]
+
+
+def supported_classes() -> Tuple[type, ...]:
+    """The classes this codec can carry (the frozen wire tuple)."""
+    return WIRE_MESSAGE_CLASSES
+
+
+# Self-check at import: every wire class must compile to a spec whose
+# leaves are the four primitive kinds.  A new field type added to
+# wire.py without a codec mapping fails here, at import, not on the
+# first live send.
+assert len(_SPECS) == len(WIRE_MESSAGE_CLASSES)
+del wire

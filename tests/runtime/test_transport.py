@@ -2,17 +2,16 @@
 contract, datagram error surfacing, and the persistent reliable path."""
 
 import asyncio
-from dataclasses import dataclass
 
 from repro.runtime.resilience import ResilienceConfig, RetryPolicy, STATE_OPEN
 from repro.runtime.transport import AsyncTransport, NodeRegistry, _DatagramProtocol
+from repro.wire import Ping as WirePing
 
 
-@dataclass
-class Ping:
-    """A picklable wire message for transport tests."""
-
-    value: int
+def Ping(value: int) -> WirePing:
+    """A real wire message carrying ``value`` (the codec rejects ad-hoc
+    classes, which is the point of the schema)."""
+    return WirePing(seq=value, incarnation=0, updates=())
 
 
 class TestNodeRegistryExpulsion:
@@ -183,7 +182,7 @@ class TestDeliveryPaths:
 
         ok, inbox, channels, counters = asyncio.run(scenario())
         assert ok
-        assert [m.value for _src, m in inbox] == list(range(10))
+        assert [m.seq for _src, m in inbox] == list(range(10))
         assert channels == 1  # one persistent channel, not one socket per send
         assert counters.successes >= 1
         assert counters.failures == 0
@@ -233,7 +232,7 @@ class TestCrashRecovery:
             # The next send is the half-open probe; it must deliver.
             assert transport.send(1, 2, Ping(99), reliable=True) is True
             ok = await settle(
-                lambda: any(m.value == 99 for _s, m in received[2])
+                lambda: any(m.seq == 99 for _s, m in received[2])
             )
             counters = transport._channels[2].breaker.counters
             state = transport._channels[2].breaker.state

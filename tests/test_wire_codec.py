@@ -1,0 +1,205 @@
+"""The safe wire codec: schema round-trips, canonicalisation, strictness.
+
+The codec replaced pickle on the live plane, so these tests are the
+wire-format contract: every message class round-trips bit-exactly, numpy
+scalars come back as plain Python values, and anything that is not a
+well-formed frame — truncations, trailing bytes, unknown tags, oversized
+sequences, non-canonical booleans — is rejected with a typed error, not
+parsed optimistically.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import wire_codec
+from repro.wire import (
+    AuditResponse,
+    Blame,
+    HistoryPollResponse,
+    Ping,
+    Propose,
+    WIRE_MESSAGE_CLASSES,
+)
+
+# ----------------------------------------------------------------------
+# strategies compiled from the same specs the codec executes
+# ----------------------------------------------------------------------
+
+_I64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+# numpy variants exercise the canonicalisation path: simulator state is
+# full of np.int64 / np.float64 scalars.
+_INTS = st.one_of(_I64, st.integers(-(2**31), 2**31 - 1).map(np.int64))
+_FLOATS = st.one_of(
+    st.floats(allow_nan=False, width=64),
+    st.floats(allow_nan=False, width=64).map(np.float64),
+)
+_BOOLS = st.one_of(st.booleans(), st.booleans().map(np.bool_))
+# 60 chars of arbitrary text stays under the 255-byte UTF-8 cap.
+_STRS = st.text(max_size=60)
+
+
+def _strategy_for(spec):
+    kind = spec[0]
+    if kind == "int":
+        return _INTS
+    if kind == "float":
+        return _FLOATS
+    if kind == "bool":
+        return _BOOLS
+    if kind == "str":
+        return _STRS
+    if kind == "seq":
+        return st.lists(_strategy_for(spec[1]), max_size=6).map(tuple)
+    return st.tuples(*(_strategy_for(s) for s in spec[1]))
+
+
+def _message_strategy(cls):
+    specs = wire_codec._SPECS[cls]
+    return st.tuples(*(_strategy_for(spec) for _name, spec in specs)).map(
+        lambda values: cls(*values)
+    )
+
+
+def _assert_canonical(value, spec):
+    """Decoded values must be plain Python types, never numpy scalars."""
+    kind = spec[0]
+    if kind == "int":
+        assert type(value) is int
+    elif kind == "float":
+        assert type(value) is float
+    elif kind == "bool":
+        assert type(value) is bool
+    elif kind == "str":
+        assert type(value) is str
+    elif kind == "seq":
+        assert type(value) is tuple
+        for item in value:
+            _assert_canonical(item, spec[1])
+    else:
+        assert type(value) is tuple
+        for item, elem in zip(value, spec[1]):
+            _assert_canonical(item, elem)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "cls", WIRE_MESSAGE_CLASSES, ids=[c.__name__ for c in WIRE_MESSAGE_CLASSES]
+    )
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_every_class_roundtrips_canonically(self, cls, data):
+        message = data.draw(_message_strategy(cls))
+        src = data.draw(_I64)
+        frame = wire_codec.encode_frame(src, message)
+        decoded_src, decoded = wire_codec.decode_frame(frame)
+        assert decoded_src == src
+        assert type(decoded) is cls
+        assert decoded == message  # numpy scalars compare equal to their values
+        for (name, spec) in wire_codec._SPECS[cls]:
+            _assert_canonical(getattr(decoded, name), spec)
+
+    def test_numpy_scalars_are_canonicalised(self):
+        message = Blame(target=np.int64(7), value=np.float64(1.5), reason="x")
+        _src, decoded = wire_codec.decode_frame(wire_codec.encode_frame(np.int64(1), message))
+        assert type(decoded.target) is int
+        assert type(decoded.value) is float
+        assert decoded == message
+
+
+class TestTagStability:
+    def test_tags_are_the_frozen_tuple_order(self):
+        # The wire format is exactly as frozen as this assignment:
+        # reordering WIRE_MESSAGE_CLASSES is a flag-day and must show up
+        # here, not in a live deployment.
+        for index, cls in enumerate(WIRE_MESSAGE_CLASSES):
+            assert wire_codec.tag_of(cls) == index
+        assert wire_codec.supported_classes() == WIRE_MESSAGE_CLASSES
+
+    def test_non_wire_class_rejected_at_encode(self):
+        class NotWire:
+            pass
+
+        with pytest.raises(wire_codec.UnknownTypeError):
+            wire_codec.encode_frame(1, NotWire())
+
+
+class TestStrictDecoding:
+    def frame(self, message=None, src=1):
+        return wire_codec.encode_frame(src, message or Ping(seq=9, incarnation=0, updates=()))
+
+    def test_empty_and_headerless(self):
+        with pytest.raises(wire_codec.MalformedFrameError):
+            wire_codec.decode_frame(b"")
+        with pytest.raises(wire_codec.MalformedFrameError):
+            wire_codec.decode_frame(b"\x00\x01\x02")
+
+    def test_unknown_tag(self):
+        bad = bytes([0xFF]) + self.frame()[1:]
+        with pytest.raises(wire_codec.UnknownTypeError):
+            wire_codec.decode_frame(bad)
+
+    def test_truncated_body(self):
+        frame = self.frame()
+        with pytest.raises(wire_codec.MalformedFrameError):
+            wire_codec.decode_frame(frame[:-1])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(wire_codec.MalformedFrameError):
+            wire_codec.decode_frame(self.frame() + b"\x00")
+
+    def test_non_canonical_bool(self):
+        frame = bytearray(
+            wire_codec.encode_frame(
+                1,
+                HistoryPollResponse(
+                    target=2, period=3, acknowledged=True, confirm_senders=()
+                ),
+            )
+        )
+        # acknowledged is the byte right after tag+src+target+period.
+        offset = 1 + 8 + 8 + 8
+        assert frame[offset] == 1
+        frame[offset] = 2
+        with pytest.raises(wire_codec.MalformedFrameError):
+            wire_codec.decode_frame(bytes(frame))
+
+    def test_oversized_sequence_count_rejected(self):
+        frame = bytearray(self.frame(Ping(seq=1, incarnation=0, updates=())))
+        # updates count is the trailing 2-byte field of a Ping frame.
+        frame[-2:] = struct.pack("!H", wire_codec.MAX_SEQ_ITEMS + 1)
+        with pytest.raises(wire_codec.OversizedFrameError):
+            wire_codec.decode_frame(bytes(frame))
+
+    def test_oversized_frame_rejected_both_directions(self):
+        proposals = tuple(
+            (i, tuple(range(50)), tuple(range(50))) for i in range(120)
+        )
+        with pytest.raises(wire_codec.OversizedFrameError):
+            wire_codec.encode_frame(1, AuditResponse(proposals=proposals))
+        with pytest.raises(wire_codec.OversizedFrameError):
+            wire_codec.decode_frame(b"\x00" * (wire_codec.MAX_FRAME_BYTES + 1))
+
+    def test_invalid_utf8_rejected(self):
+        frame = bytearray(
+            wire_codec.encode_frame(1, Blame(target=1, value=0.5, reason="ab"))
+        )
+        frame[-1] = 0xFF  # corrupt the last reason byte
+        with pytest.raises(wire_codec.MalformedFrameError):
+            wire_codec.decode_frame(bytes(frame))
+
+
+class TestPeekSrc:
+    def test_claimed_src_readable_from_garbage_body(self):
+        frame = wire_codec.encode_frame(42, Propose(proposal_id=1, chunk_ids=(1, 2)))
+        assert wire_codec.peek_src(frame) == 42
+        # Still readable when the body is garbage — that is the point:
+        # attribution without trusting the frame to parse.
+        assert wire_codec.peek_src(frame[: wire_codec._HEADER_LEN] + b"\xff") == 42
+
+    def test_unreadable_headers_yield_none(self):
+        assert wire_codec.peek_src(b"") is None
+        assert wire_codec.peek_src(b"\x00" * 5) is None
+        assert wire_codec.peek_src(bytes([0xFE]) + b"\x00" * 8) is None
