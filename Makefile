@@ -4,7 +4,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test bench-smoke bench-parallel bench-scenarios bench-scaling bench-scaling-smoke bench-check bench-check-fast bench-baseline bench-full
+.PHONY: test bench-smoke bench-parallel bench-scenarios bench-scaling bench-scaling-smoke bench-check bench-check-fast bench-baseline bench-loadgen bench-loadgen-smoke bench-full
 
 ## Tier-1 test suite (must stay green).
 test:
@@ -41,6 +41,15 @@ bench-check-fast:
 ## Refresh the 'current' baselines after an intentional perf change.
 bench-baseline:
 	python scripts/check_bench_regression.py --update
+
+## Open-loop load sweep against a live node; records the knee baseline
+## into benchmarks/BENCH_loadgen.json (idle machine only).
+bench-loadgen:
+	python benchmarks/bench_loadgen.py --record
+
+## CI-sized loadgen smoke: report parses, zero invariant violations.
+bench-loadgen-smoke:
+	python benchmarks/bench_loadgen.py --smoke
 
 ## Full benchmark harness (paper-scale; slow).
 bench-full:

@@ -47,6 +47,7 @@ from repro.scenarios import (
     get,
     list_scenarios,
     run_scenario,
+    run_sweep,
 )
 
 # ----------------------------------------------------------------------
@@ -170,11 +171,22 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         "(sequences comma-separated, e.g. --set sizes=100,300)",
     )
     parser.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="PARAM=A,B,C",
+        dest="sweep_pairs",
+        help="run the product sweep over the listed values (repeatable; "
+        "one full run per cell — e.g. --sweep rate=500,1000 --sweep n=8,16; "
+        "for sequence params separate values inside a cell with ':')",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
         dest="json_path",
-        help="write the RunResult envelope as JSON ('-' = stdout)",
+        help="write the RunResult envelope as JSON ('-' = stdout; "
+        "a JSON array of envelopes under --sweep)",
     )
     parser.add_argument(
         "--profile",
@@ -201,9 +213,68 @@ def _collect_overrides(
     return overrides
 
 
+def _collect_sweep_axes(args: argparse.Namespace) -> Dict[str, List[str]]:
+    """Parse repeated ``--sweep param=a,b,c`` flags into an axes mapping.
+
+    Values stay strings (each cell goes through the scenario's own
+    coercion); for sequence-typed parameters a cell's inner values are
+    separated by ``:`` (e.g. ``--sweep deltas=0.1:0.1:0.1,0.3:0.3:0.3``)
+    and rewritten to the comma form the coercer expects.
+    """
+    axes: Dict[str, List[str]] = {}
+    for pair in getattr(args, "sweep_pairs", []):
+        if "=" not in pair:
+            raise ParamError(f"--sweep expects PARAM=A,B,C, got {pair!r}")
+        key, _, values = pair.partition("=")
+        key = key.strip().replace("-", "_")
+        cells = [
+            cell.strip().replace(":", ",")
+            for cell in values.split(",")
+            if cell.strip() != ""
+        ]
+        if not cells:
+            raise ParamError(f"--sweep {key}= lists no values")
+        if key in axes:
+            raise ParamError(f"--sweep names {key!r} twice")
+        axes[key] = cells
+    return axes
+
+
+def _execute_sweep(
+    spec: ScenarioSpec,
+    axes: Mapping[str, List[str]],
+    overrides: Mapping[str, Any],
+    args: argparse.Namespace,
+) -> int:
+    import json as _json
+
+    results = run_sweep(spec.name, axes, **overrides)
+    json_path = getattr(args, "json_path", None)
+    payload = _json.dumps(
+        [_json.loads(result.to_json()) for result in results], indent=2
+    )
+    if json_path == "-":
+        print(payload)
+        return 0
+    for result in results:
+        cell = ", ".join(f"{key}={result.params[key]!r}" for key in axes)
+        print(f"=== {spec.name} [{cell}] ===")
+        print(spec.render(result) if spec.render is not None else result.to_json(indent=2))
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {json_path} ({len(results)} cells)", file=sys.stderr)
+    return 0
+
+
 def _execute(
     spec: ScenarioSpec, overrides: Mapping[str, Any], args: argparse.Namespace
 ) -> int:
+    axes = _collect_sweep_axes(args)
+    if axes:
+        # A parameter that is both swept and pinned is a ParamError from
+        # run_sweep — surfaced like any other parameter mistake.
+        return _execute_sweep(spec, axes, overrides, args)
     profile_path = getattr(args, "profile", None)
     if profile_path:
         from repro.util.profiling import maybe_profile

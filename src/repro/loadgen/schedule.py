@@ -1,0 +1,179 @@
+"""Deterministic open-loop arrival schedules (seeded, rate-stepped).
+
+An *open-loop* generator fixes the arrival times of every frame up
+front, independently of how fast the system under test responds — the
+opposite of a closed-loop ("send, wait for reply, send again") driver,
+whose arrival rate silently collapses to whatever the target sustains
+and therefore can never see past the knee.  Pre-computing the schedule
+also kills coordinated omission at the source: latency is always
+measured from the *scheduled* arrival time, so a stall that delays a
+send is charged to the frames it delayed rather than silently shrinking
+the sample.
+
+A schedule is a ladder of :class:`RateStep` phases.  Each phase's
+arrival times come from a ``numpy`` generator seeded with
+``[seed, phase_index]``, so the full schedule is a pure function of
+``(steps, seed, arrivals)`` — identical across machines and across
+partial re-runs of a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import require, require_positive
+
+__all__ = ["ArrivalSchedule", "Phase", "RateStep", "rate_ladder"]
+
+#: supported interarrival processes.
+ARRIVAL_PROCESSES = ("uniform", "poisson")
+
+
+@dataclass(frozen=True)
+class RateStep:
+    """One rung of the offered-load ladder: ``rate`` msgs/s for ``duration`` s."""
+
+    rate: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.rate, "rate")
+        require_positive(self.duration, "duration")
+
+
+def rate_ladder(
+    start: float,
+    step: float,
+    count: int,
+    duration: float,
+) -> List[RateStep]:
+    """An arithmetic ladder: ``count`` phases of ``duration`` s each,
+    stepping the offered rate from ``start`` by ``step`` per phase."""
+    require_positive(start, "start")
+    require(step >= 0.0, "step must be >= 0, got %r", step)
+    require(count >= 1, "count must be >= 1, got %r", count)
+    require_positive(duration, "duration")
+    return [RateStep(rate=start + i * step, duration=duration) for i in range(count)]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One realised phase: the rung plus its concrete arrival times."""
+
+    index: int
+    rate: float
+    start: float
+    duration: float
+    times: np.ndarray  # absolute scheduled send times, sorted
+
+    @property
+    def count(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def _phase_offsets(step: RateStep, rng: np.random.Generator, arrivals: str) -> np.ndarray:
+    """Arrival offsets within one phase, in ``[0, duration)``, sorted."""
+    if arrivals == "uniform":
+        # Constant interarrival gap; the half-gap offset keeps the first
+        # frame off the phase boundary so phase edges stay unambiguous.
+        n = int(step.rate * step.duration)
+        gap = 1.0 / step.rate
+        return (np.arange(n, dtype=np.float64) + 0.5) * gap
+    if arrivals == "poisson":
+        # Exponential interarrivals; draw ~rate*duration gaps with slack,
+        # extend in the (rare) case the cumulative sum falls short.
+        mean_gap = 1.0 / step.rate
+        expected = int(step.rate * step.duration)
+        gaps = rng.exponential(mean_gap, size=expected + max(16, expected // 4))
+        times = np.cumsum(gaps)
+        while times[-1] < step.duration:
+            more = rng.exponential(mean_gap, size=max(16, expected // 4))
+            times = np.concatenate([times, times[-1] + np.cumsum(more)])
+        return times[times < step.duration]
+    raise ValueError(f"unknown arrival process {arrivals!r} (expected one of {ARRIVAL_PROCESSES})")
+
+
+class ArrivalSchedule:
+    """The fully materialised open-loop schedule for a rate ladder.
+
+    ``times`` is the concatenated, strictly increasing array of absolute
+    scheduled send times; ``phase_of[i]`` is the phase index of frame
+    ``i`` (frames are numbered by schedule order, which is the sequence
+    number the driver stamps into each frame).
+    """
+
+    def __init__(
+        self,
+        steps: Sequence[RateStep],
+        seed: int = 0,
+        arrivals: str = "uniform",
+    ) -> None:
+        require(len(steps) >= 1, "schedule needs at least one rate step")
+        require(
+            arrivals in ARRIVAL_PROCESSES,
+            "arrivals must be one of %r, got %r",
+            ARRIVAL_PROCESSES,
+            arrivals,
+        )
+        self.steps: Tuple[RateStep, ...] = tuple(steps)
+        self.seed = int(seed)
+        self.arrivals = arrivals
+
+        phases: List[Phase] = []
+        chunks: List[np.ndarray] = []
+        phase_ids: List[np.ndarray] = []
+        start = 0.0
+        for index, step in enumerate(self.steps):
+            rng = np.random.default_rng([self.seed, index])
+            offsets = _phase_offsets(step, rng, arrivals)
+            times = start + offsets
+            phases.append(
+                Phase(
+                    index=index,
+                    rate=step.rate,
+                    start=start,
+                    duration=step.duration,
+                    times=times,
+                )
+            )
+            chunks.append(times)
+            phase_ids.append(np.full(times.shape[0], index, dtype=np.int32))
+            start += step.duration
+
+        self.phases: Tuple[Phase, ...] = tuple(phases)
+        self.times: np.ndarray = np.concatenate(chunks)
+        self.phase_of: np.ndarray = np.concatenate(phase_ids)
+        self.total_duration = start
+
+    @property
+    def total_count(self) -> int:
+        return int(self.times.shape[0])
+
+    def phase_counts(self) -> List[int]:
+        return [phase.count for phase in self.phases]
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe summary (per-phase rates/counts, not the raw times)."""
+        return {
+            "seed": self.seed,
+            "arrivals": self.arrivals,
+            "total_count": self.total_count,
+            "total_duration": self.total_duration,
+            "phases": [
+                {
+                    "index": phase.index,
+                    "rate": phase.rate,
+                    "start": phase.start,
+                    "duration": phase.duration,
+                    "count": phase.count,
+                }
+                for phase in self.phases
+            ],
+        }

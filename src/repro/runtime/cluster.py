@@ -38,6 +38,7 @@ from repro.core.auditlog import AuditLog
 from repro.core.reputation import ManagerAssignment, ScoreBoard
 from repro.gossip.chunks import SOURCE_ID, Chunk
 from repro.gossip.protocol import GossipNode
+from repro.loadgen.driver import LoadGenerator, LoadProfile
 from repro.membership.failure_detector import (
     ChurnMonitor,
     FailureDetectorParams,
@@ -90,6 +91,11 @@ class RuntimeConfig:
     #: SWIM-style failure detection (None = off).  Timeouts are in
     #: gossip-period units, so the sim-calibrated defaults transfer.
     failure_detector: Optional[FailureDetectorParams] = None
+    #: open-loop load sweep driven at ``load_target`` during the run
+    #: (None = no load generator).  ``duration`` must cover the
+    #: profile's schedule for the sweep to complete.
+    load_profile: Optional[LoadProfile] = None
+    load_target: int = 0
 
 
 @dataclass
@@ -122,6 +128,9 @@ class RuntimeReport:
     #: safety-invariant sweep outcome (see
     #: :class:`repro.core.invariants.InvariantMonitor.summary`).
     invariants: Dict[str, object] = field(default_factory=dict)
+    #: load-generator sweep report (empty without a ``load_profile``);
+    #: see :meth:`repro.loadgen.driver.LoadGenerator.report`.
+    load: Dict[str, object] = field(default_factory=dict)
 
 
 class RuntimeCluster:
@@ -157,6 +166,8 @@ class RuntimeCluster:
         self._expelled_set: Set[NodeId] = set()
         #: armed by :meth:`run`; exposes live invariant state to tests.
         self.invariants = None
+        #: armed by :meth:`run` when a load profile is configured.
+        self.loadgen: Optional[LoadGenerator] = None
 
     async def run(self) -> RuntimeReport:
         """Execute the deployment for ``config.duration`` real seconds."""
@@ -296,15 +307,25 @@ class RuntimeCluster:
                     self._probe_crashed(transport, crash_targets)
                 )
 
+        load_task = None
+        if config.load_profile is not None:
+            self.loadgen = LoadGenerator(
+                transport, config.load_profile, config.load_target
+            )
+            await self.loadgen.start()
+            load_task = loop.create_task(self.loadgen.run())
+
         for node in self.nodes.values():
             node.start()
 
         await asyncio.sleep(config.duration)
 
         source_task.cancel()
-        for task in (fault_task, probe_task, invariant_task):
+        for task in (fault_task, probe_task, invariant_task, load_task):
             if task is not None:
                 task.cancel()
+        if self.loadgen is not None:
+            self.loadgen.detach()
         for node in self.nodes.values():
             node.stop()
         await asyncio.sleep(2 * config.gossip_period)  # drain in-flight timers
@@ -469,6 +490,10 @@ class RuntimeCluster:
             )
         chain = log.verify_all()
         log.close()
+        resilience = transport.resilience_snapshot()
+        load_report: Dict[str, object] = {}
+        if self.loadgen is not None:
+            load_report = self.loadgen.report(resilience)
         return RuntimeReport(
             chunks_emitted=emitted,
             delivery_ratio=delivery,
@@ -479,7 +504,7 @@ class RuntimeCluster:
             freerider_ids=set(self.freerider_ids),
             datagram_errors=transport.datagram_errors,
             sends_refused=transport.sends_refused,
-            resilience=transport.resilience_snapshot(),
+            resilience=resilience,
             faults=plane.counters() if plane is not None else {},
             expelled=list(self.expelled),
             wrongful_expulsions=[
@@ -489,4 +514,5 @@ class RuntimeCluster:
             audit_records=chain.length,
             membership=membership_stats,
             invariants=invariants.summary(),
+            load=load_report,
         )

@@ -40,12 +40,19 @@ from repro.util.validation import require
 __all__ = [
     "BoundedIngressQueue",
     "CircuitBreaker",
+    "RESILIENCE_SNAPSHOT_SCHEMA",
     "ResilienceConfig",
     "RetryPolicy",
     "STATE_CLOSED",
     "STATE_HALF_OPEN",
     "STATE_OPEN",
 ]
+
+#: schema tag of :meth:`AsyncTransport.resilience_snapshot` payloads.
+#: Bump the suffix on any breaking change to the counter layout — the
+#: snapshot is the measurement surface for the chaos scenarios *and*
+#: the load generator (see docs/RESILIENCE.md for the full schema).
+RESILIENCE_SNAPSHOT_SCHEMA = "repro.resilience_snapshot/1"
 
 STATE_CLOSED = "closed"
 STATE_OPEN = "open"
@@ -192,11 +199,20 @@ class BoundedIngressQueue:
     prove its queues stayed bounded.
     """
 
-    def __init__(self, capacity: int = 4096, policy: str = DROP_OLDEST) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        policy: str = DROP_OLDEST,
+        on_evict: Optional[Callable] = None,
+    ) -> None:
         require(capacity >= 1, "capacity must be >= 1")
         require(policy in (DROP_OLDEST, REJECT), "policy must be drop-oldest or reject")
         self.capacity = capacity
         self.policy = policy
+        #: observer of drop-oldest evictions (the evicted item is passed
+        #: through) — lets a probe attribute drops to individual frames
+        #: without the queue knowing anything about frame contents.
+        self.on_evict = on_evict
         self._queue: Deque = deque()
         self.accepted = 0
         self.dropped_oldest = 0
@@ -213,8 +229,10 @@ class BoundedIngressQueue:
             if self.policy == REJECT:
                 self.rejected += 1
                 return False
-            queue.popleft()
+            evicted = queue.popleft()
             self.dropped_oldest += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted)
         queue.append(item)
         self.accepted += 1
         depth = len(queue)

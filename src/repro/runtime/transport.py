@@ -57,6 +57,7 @@ from repro.runtime.resilience import (
     BoundedIngressQueue,
     BreakerCounters,
     CircuitBreaker,
+    RESILIENCE_SNAPSHOT_SCHEMA,
     ResilienceConfig,
 )
 from repro.util.validation import require
@@ -257,10 +258,16 @@ class AsyncTransport:
         self._channels: Dict[NodeId, _PeerChannel] = {}
         self._crashed: Set[NodeId] = set()
         self._closing = False
+        #: optional stage-timestamp observer (see
+        #: :class:`repro.loadgen.probe.StageProbe`).  Every hot-path hook
+        #: is guarded by one ``is not None`` check, so the disabled cost
+        #: is a single attribute load per ingest / per drained batch.
+        self.probe = None
         # ingress: one bounded queue feeding one pump task
         self._ingress = BoundedIngressQueue(
             capacity=self.resilience.ingress_capacity,
             policy=self.resilience.ingress_policy,
+            on_evict=self._on_ingress_evict,
         )
         self._ingress_event = asyncio.Event()
         self._pump_task: Optional[asyncio.Task] = None
@@ -442,9 +449,19 @@ class AsyncTransport:
     def _on_datagram_error(self, node_id: NodeId, exc: Exception) -> None:
         self.datagram_errors += 1
 
+    def _on_ingress_evict(self, item) -> None:
+        """Drop-oldest evicted ``item``; forward it to the probe."""
+        probe = self.probe
+        if probe is not None:
+            probe.on_evicted(item)
+
     def _ingest(self, dst: NodeId, src: NodeId, message: object) -> None:
         """Queue one decoded message for delivery by the pump."""
-        self._ingress.push((self.clock(), dst, src, message))
+        now = self.clock()
+        accepted = self._ingress.push((now, dst, src, message))
+        probe = self.probe
+        if probe is not None:
+            probe.on_ingest(src, message, now, accepted)
         self._ingress_event.set()
 
     async def _pump(self) -> None:
@@ -468,6 +485,7 @@ class AsyncTransport:
         """Deliver drained entries, coalescing same-destination runs."""
         i, n = 0, len(batch)
         registry = self.registry
+        probe = self.probe
         while i < n:
             dst = batch[i][1]
             j = i + 1
@@ -481,6 +499,7 @@ class AsyncTransport:
                 i = j
                 continue
             receiver, table, batch_fn = entry
+            t_drain = self.clock() if probe is not None else 0.0
             if batch_fn is not None:
                 entries = []
                 for k in range(i, j):
@@ -492,6 +511,8 @@ class AsyncTransport:
                 for k in range(i, j):
                     _t, _dst, src, message = batch[k]
                     self._deliver_local(receiver, table, src, message)
+            if probe is not None:
+                probe.on_dispatched(batch, i, j, t_drain, self.clock())
             i = j
 
     @staticmethod
@@ -573,13 +594,19 @@ class AsyncTransport:
     # introspection & teardown
     # ------------------------------------------------------------------
     def resilience_snapshot(self) -> Dict[str, object]:
-        """JSON-safe state of the resilience layer (for reports/metrics)."""
+        """JSON-safe state of the resilience layer (for reports/metrics).
+
+        The payload carries a stable ``schema`` tag
+        (:data:`~repro.runtime.resilience.RESILIENCE_SNAPSHOT_SCHEMA`);
+        the full counter schema is documented in docs/RESILIENCE.md.
+        """
         breakers = BreakerCounters()
         states: Dict[str, int] = {}
         for channel in self._channels.values():
             breakers.merge(channel.breaker.counters)
             states[channel.breaker.state] = states.get(channel.breaker.state, 0) + 1
         return {
+            "schema": RESILIENCE_SNAPSHOT_SCHEMA,
             "breaker": breakers.as_dict(),
             "breaker_states": states,
             "ingress": self._ingress.as_dict(),

@@ -26,6 +26,7 @@ from repro.scenarios.registry import (
     load_builtins,
     register,
     run_scenario,
+    run_sweep,
     scenario,
 )
 from repro.scenarios.spec import (
@@ -51,5 +52,6 @@ __all__ = [
     "load_builtins",
     "register",
     "run_scenario",
+    "run_sweep",
     "scenario",
 ]

@@ -511,6 +511,139 @@ def _chaos_scenario(params):
 
 
 # ----------------------------------------------------------------------
+# loadgen — open-loop load sweep against a live node (find the knee)
+# ----------------------------------------------------------------------
+
+def _compute_loadgen(params: dict):
+    """One stepped-rate open-loop sweep against a live deployment.
+
+    The run duration is derived from the profile (schedule + settle +
+    teardown margin), so the sweep always completes inside the run.
+    """
+    import asyncio
+
+    from repro.loadgen import LoadProfile
+    from repro.runtime import RuntimeCluster, RuntimeConfig
+
+    profile = LoadProfile(
+        start_rate=params["rate"],
+        step_rate=params["step"],
+        steps=params["steps"],
+        step_duration=params["step_duration"],
+        seed=params["seed"],
+        arrivals=params["arrivals"],
+        knee_tolerance=params["tolerance"],
+    )
+    schedule_span = profile.steps * profile.step_duration + profile.settle
+    config = RuntimeConfig(
+        n=params["n"],
+        duration=schedule_span + 0.5,
+        seed=params["seed"],
+        # Keep the background stream sparse: the measured traffic should
+        # dominate, the protocol machinery still runs for real.
+        chunk_interval=0.25,
+        loss_rate=0.0,
+        load_profile=profile,
+        load_target=params["target"],
+    )
+    return asyncio.run(RuntimeCluster(config).run())
+
+
+def _loadgen_metrics(report, params) -> dict:
+    load = report.load
+    knee = load.get("knee", {})
+    overall = load.get("overall", {})
+    stages = overall.get("stages", {})
+    return {
+        "knee_rate": knee.get("knee_rate"),
+        "saturated": knee.get("saturated"),
+        "offered_rates": knee.get("offered", []),
+        "goodput_rates": knee.get("goodput", []),
+        "ratios": knee.get("ratios", []),
+        "frames_offered": overall.get("offered", 0),
+        "frames_done": overall.get("done", 0),
+        "frames_refused": overall.get("refused", 0),
+        "frames_evicted": overall.get("evicted", 0),
+        "ingress_high_water": load.get("ingress_high_water"),
+        "ingress_dropped": load.get("ingress_dropped"),
+        "stage_p50": {s: v.get("p50") for s, v in stages.items()},
+        "stage_p99": {s: v.get("p99") for s, v in stages.items()},
+        "invariant_violations": report.invariants.get("violations", 0),
+        "load": dict(load),
+    }
+
+
+def _loadgen_render(run: RunResult) -> str:
+    from repro.metrics.latency import format_seconds, stage_rows
+
+    load = run.artifact.load
+    knee = load.get("knee", {})
+    overall = load.get("overall", {})
+    lines = stage_rows(load.get("phases", []))
+    if knee.get("saturated"):
+        rate = knee.get("knee_rate")
+        knee_line = (
+            f"knee: {rate:.0f} frames/s "
+            f"(first saturated phase {knee.get('first_saturated_phase')}, "
+            f"tolerance {knee.get('tolerance'):.0%})"
+            if rate is not None
+            else f"knee: below the first rung ({knee.get('offered', ['?'])[0]} frames/s)"
+        )
+    else:
+        knee_line = (
+            "knee: not reached inside the sweep "
+            f"(max offered {max(knee.get('offered', [0])):.0f} frames/s tracked)"
+        )
+    lines.append(knee_line)
+    stages = overall.get("stages", {})
+    sojourn = stages.get("sojourn", {})
+    lines.append(
+        f"overall sojourn p50 {format_seconds(sojourn.get('p50', float('nan')))}, "
+        f"p99 {format_seconds(sojourn.get('p99', float('nan')))}; "
+        f"ingress high-water {load.get('ingress_high_water')}, "
+        f"dropped {load.get('ingress_dropped')}"
+    )
+    violations = run.artifact.invariants.get("violations", 0)
+    lines.append(f"invariants: {violations} violations")
+    return "\n".join(lines)
+
+
+@scenario(
+    "loadgen",
+    "Open-loop stepped-rate load sweep against a live node: find the knee",
+    params=(
+        Param("n", int, 8, "live nodes", validate=lambda v: v >= 4,
+              constraint=">= 4"),
+        Param("seed", int, 0, "schedule + deployment seed"),
+        Param("rate", float, 500.0, "offered rate of the first phase (frames/s)",
+              validate=lambda v: v > 0, constraint="> 0"),
+        Param("step", float, 500.0, "per-phase rate increment (frames/s)",
+              validate=lambda v: v >= 0, constraint=">= 0"),
+        Param("steps", int, 4, "number of rate phases",
+              validate=lambda v: v >= 1, constraint=">= 1"),
+        Param("step_duration", float, 1.0, "seconds per phase",
+              validate=lambda v: v > 0, constraint="> 0"),
+        Param("arrivals", str, "uniform",
+              "interarrival process (uniform or poisson)",
+              validate=lambda v: v in ("uniform", "poisson"),
+              constraint="uniform | poisson"),
+        Param("target", int, 0, "node id the load is aimed at",
+              validate=lambda v: v >= 0, constraint=">= 0"),
+        Param("tolerance", float, 0.9,
+              "goodput/offered ratio below which a phase is saturated",
+              validate=lambda v: 0.0 < v <= 1.0, constraint="in (0, 1]"),
+    ),
+    summarize=_loadgen_metrics,
+    render=_loadgen_render,
+    tags=("live", "performance"),
+    smoke={"n": 6, "rate": 300.0, "step": 300.0, "steps": 2,
+           "step_duration": 0.5},
+)
+def _loadgen_scenario(params):
+    return [Task(fn=_compute_loadgen, args=(dict(params),), key="loadgen")]
+
+
+# ----------------------------------------------------------------------
 # churn — SWIM membership under scripted crash/restart churn (simulator)
 # ----------------------------------------------------------------------
 

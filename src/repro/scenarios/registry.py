@@ -31,6 +31,7 @@ from repro.runtime.parallel import _execute_job  # the worker-side Job body
 from repro.scenarios.spec import (
     DuplicateScenarioError,
     Param,
+    ParamError,
     RunResult,
     ScenarioSpec,
     UnknownScenarioError,
@@ -42,6 +43,7 @@ __all__ = [
     "load_builtins",
     "register",
     "run_scenario",
+    "run_sweep",
     "scenario",
 ]
 
@@ -224,3 +226,47 @@ def run_scenario(name: str, **overrides: Any) -> RunResult:
         provenance=collect_provenance(),
         artifact=artifact,
     )
+
+
+def run_sweep(
+    name: str,
+    axes: Mapping[str, Sequence[Any]],
+    **overrides: Any,
+) -> List[RunResult]:
+    """Run ``name`` once per cell of the product of ``axes``.
+
+    ``axes`` maps declared parameter names to value lists (strings are
+    fine — each cell goes through the scenario's own coercion).  Cells
+    run in the product's lexicographic order (first axis slowest), each
+    as a full :func:`run_scenario` with ``overrides`` applied beneath
+    the cell's axis values, and every cell gets its own provenance-
+    stamped envelope — a sweep is comparable across machines cell by
+    cell.  Axis names shadowing an ``overrides`` key are an error (a
+    swept parameter cannot also be pinned).
+    """
+    import itertools
+
+    spec = get(name)
+    if not axes:
+        raise ParamError(f"scenario {name!r}: a sweep needs at least one axis")
+    keys: List[str] = []
+    value_lists: List[List[Any]] = []
+    for key, values in axes.items():
+        spec.param(key)  # raises ParamError on unknown names
+        if key in overrides:
+            raise ParamError(
+                f"scenario {name!r}: parameter {key!r} is both swept and "
+                f"pinned; drop it from one side"
+            )
+        values = list(values)
+        if not values:
+            raise ParamError(
+                f"scenario {name!r}: sweep axis {key!r} has no values"
+            )
+        keys.append(key)
+        value_lists.append(values)
+    results: List[RunResult] = []
+    for combo in itertools.product(*value_lists):
+        cell = dict(zip(keys, combo))
+        results.append(run_scenario(name, **{**overrides, **cell}))
+    return results

@@ -1,0 +1,65 @@
+"""Knee detection over (offered, goodput) phase pairs."""
+
+import json
+
+import pytest
+
+from repro.loadgen import detect_knee
+
+
+class TestDetectKnee:
+    def test_clean_knee_in_the_middle(self):
+        report = detect_knee([100, 200, 300, 400], [99, 198, 250, 260])
+        assert report.saturated
+        assert report.first_saturated_phase == 2
+        assert report.knee_phase == 1
+        assert report.knee_rate == 200
+        assert report.ratios[0] == pytest.approx(0.99)
+
+    def test_never_saturates(self):
+        report = detect_knee([100, 200], [99, 195])
+        assert not report.saturated
+        assert report.knee_phase == 1  # last phase still tracked
+        assert report.knee_rate is None
+        assert report.first_saturated_phase is None
+
+    def test_saturated_from_the_first_phase(self):
+        report = detect_knee([100, 200], [10, 20])
+        assert report.saturated
+        assert report.first_saturated_phase == 0
+        assert report.knee_phase is None
+        assert report.knee_rate is None
+
+    def test_knee_is_first_failure_even_if_later_phases_recover(self):
+        # A transient dip counts: the knee marks the first departure.
+        report = detect_knee([100, 200, 300], [99, 100, 299])
+        assert report.first_saturated_phase == 1
+        assert report.knee_rate == 100
+
+    def test_tolerance_boundary_is_inclusive(self):
+        report = detect_knee([100], [90], tolerance=0.9)
+        assert not report.saturated
+        report = detect_knee([100], [89.9], tolerance=0.9)
+        assert report.saturated
+
+    def test_zero_offered_counts_as_saturated(self):
+        report = detect_knee([0.0, 100.0], [0.0, 100.0])
+        assert report.saturated
+        assert report.first_saturated_phase == 0
+
+    def test_to_dict_json_safe_and_extras_merged(self):
+        report = detect_knee([100, 200], [99, 150])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["saturated"] is True
+        assert payload["knee_rate"] == 100
+        assert payload["ratios"] == [0.99, 0.75]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_knee([100], [99, 98])
+        with pytest.raises(ValueError):
+            detect_knee([], [])
+        with pytest.raises(ValueError):
+            detect_knee([100], [99], tolerance=0.0)
+        with pytest.raises(ValueError):
+            detect_knee([100], [99], tolerance=1.5)

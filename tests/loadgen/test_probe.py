@@ -1,0 +1,141 @@
+"""StageProbe bookkeeping with a synthetic (transport-free) frame flow."""
+
+import pytest
+
+from repro.loadgen import ArrivalSchedule, RateStep, StageProbe
+from repro.loadgen.probe import decode_seq, encode_seq
+from repro.wire import Propose, Serve
+
+
+def frame(seq, origin=-1):
+    return Serve(
+        proposal_id=encode_seq(seq), chunk_id=1 << 20, payload_size=1, origin=origin
+    )
+
+
+def probe_for(rate=100.0, phases=2):
+    steps = [RateStep(rate=rate, duration=1.0) for _ in range(phases)]
+    probe = StageProbe(ArrivalSchedule(steps, seed=0))
+    probe.begin(0.0)
+    return probe
+
+
+class TestSeqEncoding:
+    def test_roundtrip(self):
+        for seq in (0, 1, 17, 10_000):
+            assert decode_seq(frame(seq)) == seq
+
+    def test_real_proposal_ids_are_not_ours(self):
+        # Real protocol proposal ids count up from 0 — never decoded.
+        for proposal_id in (0, 1, 500):
+            serve = Serve(proposal_id=proposal_id, chunk_id=3, payload_size=1, origin=2)
+            assert decode_seq(serve) is None
+
+    def test_non_serve_messages_ignored(self):
+        assert decode_seq(Propose(proposal_id=0, chunk_ids=(1,))) is None
+        assert decode_seq("garbage") is None
+        assert decode_seq(None) is None
+
+
+class TestStageAccounting:
+    def test_full_frame_lifecycle(self):
+        probe = probe_for()
+        seq = 5
+        t_sched = probe.schedule.times[seq]
+        probe.on_sent(seq, t_sched + 0.001, accepted=True)
+        message = frame(seq)
+        probe.on_ingest(src=-2, message=message, t_ingest=t_sched + 0.002, accepted=True)
+        batch = [(t_sched + 0.002, 0, -2, message)]
+        probe.on_dispatched(batch, 0, 1, t_sched + 0.003, t_sched + 0.004)
+
+        assert probe.sent[0] == 1
+        assert probe.ingested[0] == 1
+        assert probe.done[0] == 1
+        stage = probe.histograms[0]
+        assert stage["ingress"].count == 1
+        assert stage["queue"].count == 1
+        assert stage["dispatch"].count == 1
+        assert stage["sojourn"].count == 1
+        # sojourn anchors at the *scheduled* time: 4ms end to end.
+        assert stage["sojourn"].max_recorded == pytest.approx(0.004)
+        assert stage["queue"].max_recorded == pytest.approx(0.001)
+
+    def test_refused_send_counts_without_latency_sample(self):
+        probe = probe_for()
+        probe.on_sent(3, 0.5, accepted=False)
+        assert probe.refused[0] == 1
+        assert probe.sent[0] == 0
+        assert probe.histograms[0]["ingress"].count == 0
+
+    def test_rejected_ingest_counted_not_recorded(self):
+        probe = probe_for()
+        probe.on_sent(3, 0.01, accepted=True)
+        probe.on_ingest(src=-2, message=frame(3), t_ingest=0.02, accepted=False)
+        assert probe.rejected[0] == 1
+        assert probe.ingested[0] == 0
+        assert probe.histograms[0]["ingress"].count == 0
+
+    def test_ingest_without_send_timestamp_skips_ingress_histogram(self):
+        # A frame can reach ingest without a recorded send time (probe
+        # attached mid-flight); counters advance, no bogus sample.
+        probe = probe_for()
+        probe.on_ingest(src=-2, message=frame(7), t_ingest=0.1, accepted=True)
+        assert probe.ingested[0] == 1
+        assert probe.histograms[0]["ingress"].count == 0
+
+    def test_eviction_attributed_to_phase(self):
+        probe = probe_for(rate=100.0, phases=2)
+        seq_phase1 = probe.schedule.phase_counts()[0] + 3
+        probe.on_evicted((0.0, 0, -2, frame(seq_phase1)))
+        assert probe.evicted == [0, 1]
+        # Foreign entries in the queue are not ours to count.
+        probe.on_evicted((0.0, 0, 4, Serve(proposal_id=9, chunk_id=1, payload_size=1, origin=4)))
+        assert probe.evicted == [0, 1]
+
+    def test_dispatch_ignores_protocol_traffic_in_batch(self):
+        probe = probe_for()
+        ours = frame(0)
+        theirs = Serve(proposal_id=2, chunk_id=7, payload_size=1, origin=3)
+        batch = [(0.01, 0, -2, ours), (0.01, 0, 3, theirs)]
+        probe.on_dispatched(batch, 0, 2, 0.02, 0.03)
+        assert probe.done[0] == 1
+        assert probe.histograms[0]["queue"].count == 1
+
+
+class TestReports:
+    def _run_phase(self, probe, phase_index, drop_every=0):
+        lo = sum(probe.schedule.phase_counts()[:phase_index])
+        hi = lo + probe.schedule.phase_counts()[phase_index]
+        for seq in range(lo, hi):
+            t = float(probe.schedule.times[seq])
+            probe.on_sent(seq, t, accepted=True)
+            message = frame(seq)
+            if drop_every and (seq - lo) % drop_every == 0:
+                probe.on_ingest(src=-2, message=message, t_ingest=t + 1e-4, accepted=False)
+                continue
+            probe.on_ingest(src=-2, message=message, t_ingest=t + 1e-4, accepted=True)
+            batch = [(t + 1e-4, 0, -2, message)]
+            probe.on_dispatched(batch, 0, 1, t + 2e-4, t + 3e-4)
+
+    def test_phase_report_counters_and_goodput(self):
+        probe = probe_for(rate=100.0, phases=2)
+        self._run_phase(probe, 0)
+        self._run_phase(probe, 1, drop_every=4)
+        report = probe.phase_report()
+        assert report[0]["done"] == 100
+        assert report[0]["goodput_rate"] == pytest.approx(100.0)
+        assert report[1]["rejected"] == 25
+        assert report[1]["done"] == 75
+        assert set(report[0]["stages"]) == {"ingress", "queue", "dispatch", "sojourn"}
+        assert report[0]["stages"]["sojourn"]["p99"] == pytest.approx(3e-4, rel=0.1)
+
+    def test_overall_report_merges_phases(self):
+        probe = probe_for(rate=100.0, phases=2)
+        self._run_phase(probe, 0)
+        self._run_phase(probe, 1)
+        overall = probe.overall_report()
+        assert overall["offered"] == 200
+        assert overall["done"] == 200
+        merged = probe.merged_stage("sojourn")
+        assert merged.count == 200
+        assert overall["stage_means"]["queue"] == pytest.approx(1e-4, rel=0.1)
